@@ -1,0 +1,255 @@
+// Package persistbarriers' top-level benchmarks regenerate every table and
+// figure of the paper's evaluation (Section 7) as testing.B benchmarks.
+// Each benchmark iteration runs the full experiment at a scaled-down
+// configuration (harness.Quick-like) and reports the figure's headline
+// numbers as custom metrics, so `go test -bench=. -benchmem` reproduces
+// the whole evaluation and its shape in one command. EXPERIMENTS.md
+// records the paper-vs-measured comparison at full scale.
+package persistbarriers
+
+import (
+	"testing"
+
+	"persistbarriers/internal/harness"
+	"persistbarriers/internal/machine"
+	"persistbarriers/internal/trace"
+	"persistbarriers/internal/workload"
+)
+
+// benchOpt is the scaled-down option set benchmarks run at; the figures
+// CLI runs the same experiments at paper scale.
+func benchOpt() harness.Options {
+	return harness.Options{
+		Threads:    8,
+		MicroOps:   15,
+		AppOps:     2000,
+		EpochSizes: []int{30, 100, 1000},
+		BulkEpoch:  250,
+		Seed:       42,
+	}
+}
+
+// BenchmarkTable1Config measures machine construction at the paper's
+// Table 1 parameters (32 cores, 32 LLC banks, 4 MCs).
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := machine.New(machine.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1Timelines runs the Figure 1 SP/EP/BEP timeline probe.
+func BenchmarkFig1Timelines(b *testing.B) {
+	var last *harness.Fig1Result
+	for i := 0; i < b.N; i++ {
+		r, err := harness.RunFig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(float64(last.Exec["SP"]), "SP-cycles")
+	b.ReportMetric(float64(last.Exec["EP"]), "EP-cycles")
+	b.ReportMetric(float64(last.Exec["BEP(LB)"]), "BEP-cycles")
+}
+
+// BenchmarkFig4IDT runs the Figure 4 inter-thread conflict kernel.
+func BenchmarkFig4IDT(b *testing.B) {
+	var last *harness.Fig4Result
+	for i := 0; i < b.N; i++ {
+		r, err := harness.RunFig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(float64(last.StallLB), "LB-conflict-stall-cycles")
+	b.ReportMetric(float64(last.StallIDT), "IDT-conflict-stall-cycles")
+}
+
+// BenchmarkFig11BEPThroughput regenerates Figure 11: micro-benchmark
+// throughput of every barrier variant normalized to LB (paper gmeans:
+// LB+IDT 1.03x, LB+PF 1.17x, LB++ 1.22x).
+func BenchmarkFig11BEPThroughput(b *testing.B) {
+	var last *harness.BEPResults
+	for i := 0; i < b.N; i++ {
+		r, err := harness.RunBEP(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, v := range harness.BEPVariants {
+		b.ReportMetric(last.GmeanThroughput(v), "gmean-"+v)
+	}
+}
+
+// BenchmarkFig12ConflictingEpochs regenerates Figure 12: the percentage of
+// epochs flushed because of a conflict (paper ameans: LB 90%, LB+IDT ~90%,
+// LB+PF 77%, LB++ 75%).
+func BenchmarkFig12ConflictingEpochs(b *testing.B) {
+	var last *harness.BEPResults
+	for i := 0; i < b.N; i++ {
+		r, err := harness.RunBEP(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, v := range harness.BEPVariants {
+		b.ReportMetric(last.AmeanConflicting(v), "pct-"+v)
+	}
+}
+
+// BenchmarkFig13EpochSize regenerates Figure 13: bulk-BSP execution time
+// normalized to NP across hardware epoch sizes (paper: LB300 1.9x with the
+// overhead shrinking as epochs grow).
+func BenchmarkFig13EpochSize(b *testing.B) {
+	opt := benchOpt()
+	var last *harness.EpochSweepResults
+	for i := 0; i < b.N; i++ {
+		r, err := harness.RunFig13(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, size := range last.Sizes {
+		b.ReportMetric(last.GmeanNormalized(size), "gmean-LB"+itoa(size))
+	}
+}
+
+// BenchmarkFig14BSP regenerates Figure 14: BSP execution time normalized
+// to NP for LB, LB+IDT, LB++, LB++NOLOG (paper gmeans: 1.5x, 1.35x, 1.3x,
+// 1.16x; ~86% of conflicts inter-thread).
+func BenchmarkFig14BSP(b *testing.B) {
+	var last *harness.BSPResults
+	for i := 0; i < b.N; i++ {
+		r, err := harness.RunFig14(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, v := range harness.BSPVariants {
+		b.ReportMetric(last.GmeanNormalized(v), "gmean-"+v)
+	}
+	b.ReportMetric(100*last.InterConflictShare("LB"), "inter-share-pct")
+}
+
+// BenchmarkFlushMode regenerates the §7 clwb-vs-clflush comparison (paper:
+// non-invalidating ~30% faster).
+func BenchmarkFlushMode(b *testing.B) {
+	var last *harness.FlushModeResults
+	for i := 0; i < b.N; i++ {
+		r, err := harness.RunFlushMode(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	sum := 0.0
+	for _, bench := range last.Benches {
+		sum += last.Clwb[bench].Throughput() / last.Clflush[bench].Throughput()
+	}
+	b.ReportMetric(sum/float64(len(last.Benches)), "clwb-vs-clflush")
+}
+
+// BenchmarkWriteThrough regenerates the §7.2 naive write-through BSP
+// comparison (paper: ~8x NP at 32 threads; scaled runs saturate less).
+func BenchmarkWriteThrough(b *testing.B) {
+	opt := benchOpt()
+	opt.Threads = 16
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		r, err := harness.RunWriteThrough(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, app := range r.Apps {
+			v := float64(r.WT[app].ExecCycles) / float64(r.NP[app].ExecCycles)
+			if v > worst {
+				worst = v
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-WT-vs-NP")
+}
+
+// BenchmarkAblations runs the DESIGN.md §6 design-choice sweeps.
+func BenchmarkAblations(b *testing.B) {
+	opt := benchOpt()
+	opt.MicroOps = 8
+	var last *harness.AblationResults
+	for i := 0; i < b.N; i++ {
+		r, err := harness.RunAblations(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.DepRegThroughput[4], "gmean-4-depregs")
+	b.ReportMetric(float64(last.DepRegFallbacks[1]), "fallbacks-1-reg")
+}
+
+// BenchmarkMicroGeneration measures trace generation for each Table 2
+// micro-benchmark (the workload substrate itself).
+func BenchmarkMicroGeneration(b *testing.B) {
+	spec := workload.Spec{Threads: 32, OpsPerThread: 50, Seed: 1}
+	for _, name := range workload.MicrobenchmarkNames() {
+		gen := workload.Microbenchmarks()[name]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := gen(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorCore measures raw simulation speed: events per second
+// on a queue run under LB++.
+func BenchmarkSimulatorCore(b *testing.B) {
+	spec := workload.Spec{Threads: 8, OpsPerThread: 25, Seed: 1}
+	var prog *trace.Program
+	var err error
+	if prog, err = workload.Queue(spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		cfg := machine.DefaultConfig()
+		cfg.Cores = spec.Threads
+		cfg.IDT, cfg.PF = true, true
+		m, err := machine.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Load(prog); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		events += m.Engine().Fired()
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

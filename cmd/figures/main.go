@@ -1,0 +1,159 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (Section 7) on the simulated machine. Each subcommand maps to
+// one artifact; "all" runs the complete set. See EXPERIMENTS.md for the
+// paper-vs-measured record.
+//
+// Usage:
+//
+//	figures [-quick] [-threads N] [-seed S] <artifact>
+//
+// Artifacts: table1 table2 fig1 fig4 fig11 fig12 fig13 fig14 flushmode
+// writethrough conflictkinds ablations all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"persistbarriers/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the scaled-down quick option set")
+	threads := flag.Int("threads", 0, "override thread/core count (1..32)")
+	seed := flag.Uint64("seed", 0, "override workload seed")
+	microOps := flag.Int("microops", 0, "override micro-benchmark transactions per thread")
+	appOps := flag.Int("appops", 0, "override app-model memory ops per thread")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: figures [flags] <artifact>\nartifacts: %s\n",
+			strings.Join(artifactNames(), " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := harness.Defaults()
+	if *quick {
+		opt = harness.Quick()
+	}
+	if *threads > 0 {
+		opt.Threads = *threads
+	}
+	if *seed != 0 {
+		opt.Seed = *seed
+	}
+	if *microOps > 0 {
+		opt.MicroOps = *microOps
+	}
+	if *appOps > 0 {
+		opt.AppOps = *appOps
+	}
+
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, a := range artifactNames() {
+			if a == "all" {
+				continue
+			}
+			if err := runArtifact(a, opt); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %s: %v\n", a, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if err := runArtifact(name, opt); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+}
+
+func artifactNames() []string {
+	return []string{
+		"table1", "table2", "fig1", "fig4", "fig7",
+		"fig11", "fig12", "fig13", "fig14",
+		"flushmode", "writethrough", "conflictkinds", "ablations", "all",
+	}
+}
+
+func runArtifact(name string, opt harness.Options) error {
+	switch name {
+	case "table1":
+		fmt.Println(harness.Table1().Render())
+	case "table2":
+		fmt.Println(harness.Table2().Render())
+	case "fig1":
+		r, err := harness.RunFig1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+	case "fig4":
+		r, err := harness.RunFig4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+	case "fig7":
+		r, err := harness.RunFig7()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+	case "fig11", "fig12", "conflictkinds":
+		r, err := harness.RunBEP(opt)
+		if err != nil {
+			return err
+		}
+		switch name {
+		case "fig11":
+			fmt.Println(r.Fig11Table().Render())
+		case "fig12":
+			fmt.Println(r.Fig12Table().Render())
+		default:
+			fmt.Println(r.ConflictKindsTable().Render())
+		}
+	case "fig13":
+		r, err := harness.RunFig13(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Fig13Table().Render())
+	case "fig14":
+		r, err := harness.RunFig14(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Fig14Table().Render())
+		fmt.Printf("inter-thread share of conflicts under LB: %.0f%% (paper: ~86%%)\n\n",
+			100*r.InterConflictShare("LB"))
+	case "flushmode":
+		r, err := harness.RunFlushMode(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+	case "writethrough":
+		r, err := harness.RunWriteThrough(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+	case "ablations":
+		r, err := harness.RunAblations(opt)
+		if err != nil {
+			return err
+		}
+		for _, t := range r.Tables() {
+			fmt.Println(t.Render())
+		}
+	default:
+		return fmt.Errorf("unknown artifact %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+// Command persistsim runs one simulation: a chosen workload on a chosen
+// persist-barrier configuration, printing the run summary. It is the
+// exploratory front end to the library; cmd/figures reproduces the paper's
+// full evaluation.
+//
+// Examples:
+//
+//	persistsim -workload queue -barrier LB++ -threads 32 -ops 100
+//	persistsim -workload ssca2 -barrier LB -bulk 10000 -logging -ops 20000
+//	persistsim -workload hash -barrier NP
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"persistbarriers/internal/cache"
+	"persistbarriers/internal/machine"
+	"persistbarriers/internal/trace"
+	"persistbarriers/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "queue", "workload: hash|queue|rbtree|sdg|sps or a BSP app (canneal, ssca2, ...)")
+		barrier = flag.String("barrier", "LB++", "barrier/model: NP|SP|WT|EP|LB|LB+IDT|LB+PF|LB++")
+		threads = flag.Int("threads", 8, "threads/cores (1..32)")
+		ops     = flag.Int("ops", 50, "operations per thread (transactions for micro-benchmarks, memory ops for apps)")
+		seed    = flag.Uint64("seed", 42, "workload seed")
+		bulk    = flag.Int("bulk", 0, "bulk-mode BSP: hardware epoch size in stores (0 = programmer barriers)")
+		logging = flag.Bool("logging", false, "enable hardware undo logging (bulk mode)")
+		clflush = flag.Bool("clflush", false, "use invalidating (clflush-style) persists")
+		verbose = flag.Bool("v", false, "print per-cause stall and conflict breakdown")
+	)
+	flag.Parse()
+
+	cfg := machine.DefaultConfig()
+	cfg.Cores = *threads
+	switch strings.ToUpper(*barrier) {
+	case "NP":
+		cfg.Model = machine.NP
+	case "SP":
+		cfg.Model = machine.SP
+	case "WT":
+		cfg.Model = machine.WT
+	case "EP":
+		cfg.Model = machine.EP
+	case "LB":
+		cfg.Model = machine.LB
+	case "LB+IDT":
+		cfg.Model = machine.LB
+		cfg.IDT = true
+	case "LB+PF":
+		cfg.Model = machine.LB
+		cfg.PF = true
+	case "LB++":
+		cfg.Model = machine.LB
+		cfg.IDT, cfg.PF = true, true
+	default:
+		fmt.Fprintf(os.Stderr, "persistsim: unknown barrier %q\n", *barrier)
+		os.Exit(2)
+	}
+	if *bulk > 0 {
+		if cfg.Model != machine.LB {
+			fmt.Fprintln(os.Stderr, "persistsim: -bulk requires an LB-family barrier")
+			os.Exit(2)
+		}
+		cfg.BulkEpochStores = *bulk
+		cfg.Logging = *logging
+	}
+	if *clflush {
+		cfg.FlushMode = cache.Invalidating
+	}
+
+	spec := workload.Spec{Threads: *threads, OpsPerThread: *ops, Seed: *seed}
+	var p *trace.Program
+	var err error
+	if gen, ok := workload.Microbenchmarks()[*wl]; ok {
+		p, err = gen(spec)
+	} else if prof, ok := workload.Apps()[*wl]; ok {
+		p, err = prof.Generate(spec)
+	} else {
+		fmt.Fprintf(os.Stderr, "persistsim: unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "persistsim:", err)
+		os.Exit(1)
+	}
+
+	m, err := machine.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "persistsim:", err)
+		os.Exit(1)
+	}
+	if err := m.Load(p); err != nil {
+		fmt.Fprintln(os.Stderr, "persistsim:", err)
+		os.Exit(1)
+	}
+	r, err := m.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "persistsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload:        %s (%d threads x %d ops, %d trace ops, %d stores)\n",
+		*wl, *threads, *ops, p.Ops(), p.Stores())
+	fmt.Printf("barrier:         %s", r.Barrier)
+	if cfg.BulkEpochStores > 0 {
+		fmt.Printf(" (bulk BSP, %d stores/epoch, logging=%v)", cfg.BulkEpochStores, cfg.Logging)
+	}
+	fmt.Println()
+	if r.Deadlocked {
+		fmt.Println("RESULT:          DEADLOCKED (see §3.3 — enable splitting or fix barrier placement)")
+		os.Exit(1)
+	}
+	fmt.Printf("exec cycles:     %d (drain at %d)\n", r.ExecCycles, r.DrainCycles)
+	fmt.Printf("transactions:    %d (%.3f per kilocycle)\n", r.Transactions, r.Throughput())
+	fmt.Printf("epochs:          %d persisted, %.1f%% conflicting, %d IDT deps, %d splits\n",
+		r.Epochs.Persisted, 100*r.Epochs.ConflictingFraction(), r.Epochs.Deps, r.Epochs.Splits)
+	fmt.Printf("conflicts:       %d intra, %d inter, %d eviction (%d IDT fallbacks)\n",
+		r.Conflicts.Intra, r.Conflicts.Inter, r.Conflicts.Eviction, r.Conflicts.IDTFallbacks)
+	fmt.Printf("NVRAM:           %d line persists, %d log writes, %d reads\n",
+		r.PersistedLines, r.LogWrites, r.MC.Reads)
+	fmt.Printf("caches:          L1 %.1f%% hit, LLC %.1f%% hit\n",
+		hitPct(r.L1.Hits, r.L1.Misses), hitPct(r.LLC.Hits, r.LLC.Misses))
+	if *verbose {
+		fmt.Println("stalls (cycles summed over cores):")
+		for cause := machine.StallIntra; cause <= machine.StallWriteBuffer; cause++ {
+			fmt.Printf("  %-14s %d\n", cause, r.StallTotal(cause))
+		}
+	}
+}
+
+func hitPct(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(hits+misses)
+}

@@ -1,0 +1,78 @@
+// kvstore: a persistent hash-table application under buffered epoch
+// persistency, crashed at an arbitrary instant. The example shows the
+// guarantee BEP gives you: whatever the crash instant, the durable image
+// respects the epoch ordering the persist barriers established — the
+// recovery checker proves it for this run.
+//
+// Run with:
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"persistbarriers/internal/machine"
+	"persistbarriers/internal/recovery"
+	"persistbarriers/internal/workload"
+)
+
+func main() {
+	// Eight threads insert/delete/search 512-byte entries in per-thread
+	// hash tables, with persist barriers splitting every insert into
+	// "write entry" and "publish pointer" epochs (the paper's Figure 10
+	// discipline).
+	program, err := workload.Hash(workload.Spec{Threads: 8, OpsPerThread: 40, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 8
+	cfg.Model = machine.LB
+	cfg.IDT, cfg.PF = true, true // LB++
+	cfg.RecordHistory = true     // retain epoch write sets for recovery
+
+	m, err := machine.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Load(program); err != nil {
+		log.Fatal(err)
+	}
+
+	// Pull the plug mid-run.
+	const crashCycle = 15000
+	result, err := m.RunUntil(crashCycle)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	durable := len(result.Image)
+	var persisted, unpersisted int
+	for _, hist := range result.Histories {
+		for _, s := range hist {
+			if s.PersistedFlag {
+				persisted++
+			} else if len(s.Writes) > 0 {
+				unpersisted++
+			}
+		}
+	}
+	fmt.Printf("crash at cycle %d: %d lines durable, %d epochs persisted, %d in flight\n",
+		crashCycle, durable, persisted, unpersisted)
+
+	// Recovery: verify the durable image is a happens-before-consistent
+	// cut of the epoch history. If the hardware (or this simulator) ever
+	// persisted a dependent epoch before its source, this fails.
+	g := recovery.NewGraph(result.Histories)
+	if err := recovery.CheckOrdering(g, result.Image); err != nil {
+		log.Fatalf("INCONSISTENT persistent state: %v", err)
+	}
+	if err := recovery.CheckPersistedClosed(g, result.Image); err != nil {
+		log.Fatalf("INCONSISTENT persisted set: %v", err)
+	}
+	fmt.Println("recovery check: durable state is a consistent epoch-ordered cut ✓")
+	fmt.Println("(a recovering kvstore can trust every published pointer it finds)")
+}

@@ -1,0 +1,56 @@
+// Quickstart: build the paper's 32-core NVRAM machine, run the queue
+// micro-benchmark under the LB++ persist barrier (buffered epoch
+// persistency), and compare it with the baseline LB barrier.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"persistbarriers/internal/machine"
+	"persistbarriers/internal/workload"
+)
+
+func main() {
+	spec := workload.Spec{Threads: 8, OpsPerThread: 40, Seed: 1}
+
+	run := func(idt, pf bool) *machine.Result {
+		// The default configuration is the paper's Table 1 machine.
+		cfg := machine.DefaultConfig()
+		cfg.Cores = spec.Threads
+		cfg.Model = machine.LB // lazy barrier = buffered epoch persistency
+		cfg.IDT = idt          // inter-thread dependence tracking (§3.1)
+		cfg.PF = pf            // proactive flushing (§3.2)
+
+		program, err := workload.Queue(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := machine.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Load(program); err != nil {
+			log.Fatal(err)
+		}
+		result, err := m.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return result
+	}
+
+	lb := run(false, false) // the state-of-the-art baseline (Condit et al.)
+	lbpp := run(true, true) // the paper's contribution
+
+	fmt.Printf("queue benchmark, %d threads x %d transactions\n\n", spec.Threads, spec.OpsPerThread)
+	for _, r := range []*machine.Result{lb, lbpp} {
+		fmt.Printf("%-6s exec=%8d cycles  throughput=%.3f tx/kcycle  conflicting-epochs=%.0f%%\n",
+			r.Barrier, r.ExecCycles, r.Throughput(), 100*r.Epochs.ConflictingFraction())
+	}
+	fmt.Printf("\nLB++ speedup over LB: %.2fx\n", lbpp.Throughput()/lb.Throughput())
+}

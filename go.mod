@@ -1,0 +1,3 @@
+module persistbarriers
+
+go 1.24

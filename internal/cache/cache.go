@@ -1,0 +1,410 @@
+// Package cache implements the set-associative cache arrays used for both
+// the private L1s and the shared LLC banks. Each line carries, in addition
+// to the usual valid/dirty state, the EpochID+CoreID tag extension of the
+// paper's Section 4.3, and the cache keeps the per-epoch line bookkeeping
+// that the paper's flush engines maintain as set bitmaps.
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"persistbarriers/internal/epoch"
+	"persistbarriers/internal/mem"
+)
+
+// FlushMode selects what a persist does to the flushed line.
+type FlushMode uint8
+
+const (
+	// NonInvalidating models the clwb instruction: the line is written
+	// back and stays valid and clean in the cache (the paper's choice;
+	// ~30% faster in their evaluation).
+	NonInvalidating FlushMode = iota
+	// Invalidating models clflush: the line is written back and evicted.
+	Invalidating
+)
+
+// String implements fmt.Stringer.
+func (m FlushMode) String() string {
+	if m == Invalidating {
+		return "clflush"
+	}
+	return "clwb"
+}
+
+// Config sizes a cache array.
+type Config struct {
+	Name string
+	Sets int
+	Ways int
+	// IndexShift drops low line-number bits before set indexing; LLC
+	// banks use it so that bank-interleaved lines spread across sets.
+	IndexShift uint
+	// PanicOnDirtyEvict makes Insert panic when it would silently drop a
+	// dirty victim. Private caches enable it: every dirty L1 line must
+	// leave through an explicit writeback path.
+	PanicOnDirtyEvict bool
+}
+
+// Entry is the externally visible state of one cache line.
+type Entry struct {
+	Line    mem.Line
+	Dirty   bool
+	Tag     epoch.ID    // epoch that last wrote the line; None once persisted
+	Version mem.Version // newest store version the line holds
+}
+
+type way struct {
+	valid   bool
+	line    mem.Line
+	dirty   bool
+	tag     epoch.ID
+	version mem.Version
+	lastUse uint64
+}
+
+// Cache is a set-associative array with epoch-extended tags. It is a pure
+// state container: all timing lives in the machine layer.
+type Cache struct {
+	cfg  Config
+	sets [][]way
+	tick uint64
+	// byEpoch is the flush-engine bookkeeping: which resident lines
+	// belong to each unpersisted epoch.
+	byEpoch map[epoch.ID]map[mem.Line]struct{}
+
+	stats Stats
+}
+
+// Stats counts array activity.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64
+	DirtyEvicts uint64
+}
+
+// New validates cfg and returns an empty cache.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cache %q: sets and ways must be positive (%d, %d)", cfg.Name, cfg.Sets, cfg.Ways)
+	}
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]way, cfg.Sets),
+		byEpoch: make(map[epoch.ID]map[mem.Line]struct{}),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]way, cfg.Ways)
+	}
+	return c, nil
+}
+
+// MustNew is New for statically known-good configs; it panics on error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns the configured cache name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+func (c *Cache) setOf(line mem.Line) int {
+	return int((uint64(line) >> c.cfg.IndexShift) % uint64(c.cfg.Sets))
+}
+
+func (c *Cache) find(line mem.Line) *way {
+	set := c.sets[c.setOf(line)]
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Lookup probes for line, updating LRU state and hit/miss counters.
+func (c *Cache) Lookup(line mem.Line) (Entry, bool) {
+	w := c.find(line)
+	if w == nil {
+		c.stats.Misses++
+		return Entry{}, false
+	}
+	c.stats.Hits++
+	c.tick++
+	w.lastUse = c.tick
+	return Entry{Line: w.line, Dirty: w.dirty, Tag: w.tag, Version: w.version}, true
+}
+
+// Contains probes for line without disturbing LRU or counters.
+func (c *Cache) Contains(line mem.Line) bool { return c.find(line) != nil }
+
+// Peek returns the line's state without disturbing LRU or counters.
+func (c *Cache) Peek(line mem.Line) (Entry, bool) {
+	w := c.find(line)
+	if w == nil {
+		return Entry{}, false
+	}
+	return Entry{Line: w.line, Dirty: w.dirty, Tag: w.tag, Version: w.version}, true
+}
+
+// Victim previews the entry that Insert(line) would evict. It returns
+// (zero, false) when a free or invalid way exists. The victim preference
+// order is: clean LRU first, then dirty-untagged LRU, then dirty-tagged
+// LRU — the cache avoids forcing epoch flushes while any cheaper victim
+// exists, mirroring the paper's reliance on natural replacements.
+func (c *Cache) Victim(line mem.Line) (Entry, bool) {
+	set := c.sets[c.setOf(line)]
+	for i := range set {
+		if !set[i].valid {
+			return Entry{}, false
+		}
+	}
+	w := c.pickVictim(set)
+	return Entry{Line: w.line, Dirty: w.dirty, Tag: w.tag, Version: w.version}, true
+}
+
+// VictimAvoiding previews the victim for Insert while skipping lines for
+// which avoid returns true (lines held in a transient request state).
+// It returns (victim, full, ok): full=false means a free way exists (no
+// victim needed); ok=false means the set is full and every way is
+// excluded, so insertion must be retried later.
+func (c *Cache) VictimAvoiding(line mem.Line, avoid func(mem.Line) bool) (Entry, bool, bool) {
+	set := c.sets[c.setOf(line)]
+	for i := range set {
+		if !set[i].valid {
+			return Entry{}, false, true
+		}
+	}
+	var candidates []way
+	for i := range set {
+		if !avoid(set[i].line) {
+			candidates = append(candidates, set[i])
+		}
+	}
+	if len(candidates) == 0 {
+		return Entry{}, true, false
+	}
+	w := c.pickVictim(candidates)
+	return Entry{Line: w.line, Dirty: w.dirty, Tag: w.tag, Version: w.version}, true, true
+}
+
+// InsertReplacing inserts line into the way currently holding victim. The
+// caller chose the victim via VictimAvoiding and resolved its writeback
+// obligations; a missing victim panics.
+func (c *Cache) InsertReplacing(line, victim mem.Line, dirty bool, tag epoch.ID, version mem.Version) Entry {
+	if c.find(line) != nil {
+		panic(fmt.Sprintf("cache %q: inserting already-present %v", c.cfg.Name, line))
+	}
+	w := c.find(victim)
+	if w == nil {
+		panic(fmt.Sprintf("cache %q: replacement victim %v vanished", c.cfg.Name, victim))
+	}
+	evicted := Entry{Line: w.line, Dirty: w.dirty, Tag: w.tag, Version: w.version}
+	c.stats.Evictions++
+	if w.dirty {
+		c.stats.DirtyEvicts++
+	}
+	c.dropFromEpoch(w.tag, w.line)
+	c.tick++
+	*w = way{valid: true, line: line, dirty: dirty, tag: tag, version: version, lastUse: c.tick}
+	if dirty && tag.Valid() {
+		c.addToEpoch(tag, line)
+	}
+	return evicted
+}
+
+func (c *Cache) pickVictim(set []way) *way {
+	var clean, untagged, tagged *way
+	for i := range set {
+		w := &set[i]
+		switch {
+		case !w.dirty:
+			if clean == nil || w.lastUse < clean.lastUse {
+				clean = w
+			}
+		case !w.tag.Valid():
+			if untagged == nil || w.lastUse < untagged.lastUse {
+				untagged = w
+			}
+		default:
+			if tagged == nil || w.lastUse < tagged.lastUse {
+				tagged = w
+			}
+		}
+	}
+	if clean != nil {
+		return clean
+	}
+	if untagged != nil {
+		return untagged
+	}
+	return tagged
+}
+
+// Insert places line into the cache with the given state, evicting the
+// previewed victim if the set is full. It returns the evicted entry, if
+// any. Callers must have resolved persist-ordering obligations for the
+// victim (via Victim) before calling Insert. Inserting a line that is
+// already present panics: that is a protocol bug.
+func (c *Cache) Insert(line mem.Line, dirty bool, tag epoch.ID, version mem.Version) (Entry, bool) {
+	if c.find(line) != nil {
+		panic(fmt.Sprintf("cache %q: inserting already-present %v", c.cfg.Name, line))
+	}
+	set := c.sets[c.setOf(line)]
+	var slot *way
+	for i := range set {
+		if !set[i].valid {
+			slot = &set[i]
+			break
+		}
+	}
+	var evicted Entry
+	var didEvict bool
+	if slot == nil {
+		slot = c.pickVictim(set)
+		if slot.dirty && c.cfg.PanicOnDirtyEvict {
+			panic(fmt.Sprintf("cache %q: silent dirty eviction of %v (tag %v) for %v",
+				c.cfg.Name, slot.line, slot.tag, line))
+		}
+		evicted = Entry{Line: slot.line, Dirty: slot.dirty, Tag: slot.tag, Version: slot.version}
+		didEvict = true
+		c.stats.Evictions++
+		if slot.dirty {
+			c.stats.DirtyEvicts++
+		}
+		c.dropFromEpoch(slot.tag, slot.line)
+	}
+	c.tick++
+	*slot = way{valid: true, line: line, dirty: dirty, tag: tag, version: version, lastUse: c.tick}
+	if dirty && tag.Valid() {
+		c.addToEpoch(tag, line)
+	}
+	return evicted, didEvict
+}
+
+// Write marks a resident line dirty with the given epoch tag and version.
+// It returns the line's previous state. Writing a non-resident line panics.
+func (c *Cache) Write(line mem.Line, tag epoch.ID, version mem.Version) Entry {
+	w := c.find(line)
+	if w == nil {
+		panic(fmt.Sprintf("cache %q: writing non-resident %v", c.cfg.Name, line))
+	}
+	prev := Entry{Line: w.line, Dirty: w.dirty, Tag: w.tag, Version: w.version}
+	if w.tag != tag {
+		c.dropFromEpoch(w.tag, line)
+		if tag.Valid() {
+			c.addToEpoch(tag, line)
+		}
+	}
+	c.tick++
+	w.lastUse = c.tick
+	w.dirty = true
+	w.tag = tag
+	w.version = version
+	return prev
+}
+
+// CleanLine marks a resident line clean and clears its epoch tag — the
+// effect of a non-invalidating (clwb-style) persist. Cleaning an absent
+// line is a no-op (it may have been evicted meanwhile).
+func (c *Cache) CleanLine(line mem.Line) {
+	w := c.find(line)
+	if w == nil {
+		return
+	}
+	c.dropFromEpoch(w.tag, line)
+	w.dirty = false
+	w.tag = epoch.None
+}
+
+// Invalidate removes a line — the effect of a clflush-style persist or a
+// coherence invalidation. It returns the entry that was dropped, if any.
+func (c *Cache) Invalidate(line mem.Line) (Entry, bool) {
+	w := c.find(line)
+	if w == nil {
+		return Entry{}, false
+	}
+	e := Entry{Line: w.line, Dirty: w.dirty, Tag: w.tag, Version: w.version}
+	c.dropFromEpoch(w.tag, line)
+	*w = way{}
+	return e, true
+}
+
+// Retag moves a resident dirty line from one epoch tag to another; the
+// deadlock-avoidance split (Section 3.3) uses it when an ongoing epoch's
+// already-written lines are reassigned to the first half of the split.
+// Absent lines are ignored.
+func (c *Cache) Retag(line mem.Line, from, to epoch.ID) {
+	w := c.find(line)
+	if w == nil || w.tag != from {
+		return
+	}
+	c.dropFromEpoch(from, line)
+	w.tag = to
+	if to.Valid() {
+		c.addToEpoch(to, line)
+	}
+}
+
+// LinesOf returns the resident lines tagged with the given epoch, in
+// deterministic (sorted) order — the flush engine's work list.
+func (c *Cache) LinesOf(id epoch.ID) []mem.Line {
+	set := c.byEpoch[id]
+	if len(set) == 0 {
+		return nil
+	}
+	lines := make([]mem.Line, 0, len(set))
+	for l := range set {
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	return lines
+}
+
+// EpochLineCount reports how many resident lines carry the given tag.
+func (c *Cache) EpochLineCount(id epoch.ID) int { return len(c.byEpoch[id]) }
+
+func (c *Cache) addToEpoch(id epoch.ID, line mem.Line) {
+	set := c.byEpoch[id]
+	if set == nil {
+		set = make(map[mem.Line]struct{})
+		c.byEpoch[id] = set
+	}
+	set[line] = struct{}{}
+}
+
+func (c *Cache) dropFromEpoch(id epoch.ID, line mem.Line) {
+	if !id.Valid() {
+		return
+	}
+	if set := c.byEpoch[id]; set != nil {
+		delete(set, line)
+		if len(set) == 0 {
+			delete(c.byEpoch, id)
+		}
+	}
+}
+
+// DirtyLines returns every dirty resident line (sorted); the end-of-run
+// drain uses it.
+func (c *Cache) DirtyLines() []Entry {
+	var out []Entry
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			w := &c.sets[s][i]
+			if w.valid && w.dirty {
+				out = append(out, Entry{Line: w.line, Dirty: true, Tag: w.tag, Version: w.version})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Line < out[j].Line })
+	return out
+}
+
+// Stats returns a snapshot of the array counters.
+func (c *Cache) Stats() Stats { return c.stats }

@@ -1,0 +1,181 @@
+package epoch
+
+import (
+	"fmt"
+
+	"persistbarriers/internal/sim"
+)
+
+// FlushDriver is the machine-layer mechanism that durably drains one
+// epoch's pending lines: L1 writebacks, the FlushEpoch broadcast to the
+// LLC banks, per-line NVRAM writes, and the BankAck/PersistCMP handshake
+// (Section 4.1). done must fire when rec.Pending is empty and durable.
+type FlushDriver interface {
+	FlushEpoch(rec *Record, done func())
+}
+
+// ArbiterStats counts flush-coordination activity for one core.
+type ArbiterStats struct {
+	FlushesDriven   uint64
+	NaturalPersists uint64
+	Demands         uint64
+}
+
+// DemandSourceFunc forwards a flush demand to another core's arbiter: the
+// inform/dependence register handshake of §4.2 in the demand direction.
+type DemandSourceFunc func(source ID, cause FlushCause)
+
+// Arbiter is the per-core epoch arbiter of Section 4.1: it serializes
+// epoch flushes for its core (one at a time), enforces program-order and
+// IDT persist ordering, and retires epochs as they become durable.
+type Arbiter struct {
+	eng    *sim.Engine
+	table  *Table
+	driver FlushDriver
+
+	// demandSource lets a demanded flush pull its IDT sources along;
+	// without it a dependent epoch could wait forever on a source nobody
+	// else ever flushes.
+	demandSource DemandSourceFunc
+
+	flushing bool
+	stats    ArbiterStats
+}
+
+// SetDemandSource installs the cross-core demand forwarder.
+func (a *Arbiter) SetDemandSource(fn DemandSourceFunc) { a.demandSource = fn }
+
+// NewArbiter wires an arbiter to its core's table and flush driver.
+func NewArbiter(eng *sim.Engine, table *Table, driver FlushDriver) (*Arbiter, error) {
+	if eng == nil || table == nil || driver == nil {
+		return nil, fmt.Errorf("epoch: arbiter requires engine, table and driver")
+	}
+	return &Arbiter{eng: eng, table: table, driver: driver}, nil
+}
+
+// Table returns the arbiter's epoch table.
+func (a *Arbiter) Table() *Table { return a.table }
+
+// DemandThrough requests that every epoch up to and including num be
+// flushed (a conflict, eviction, or pressure demand). The first demand on
+// an epoch fixes its recorded cause. The caller should then wait on the
+// target epoch's Persisted signal.
+func (a *Arbiter) DemandThrough(num uint64, cause FlushCause) {
+	a.stats.Demands++
+	for _, r := range a.table.window {
+		if r.ID.Num > num {
+			break
+		}
+		if !r.flushWanted {
+			r.flushWanted = true
+			r.Cause = cause
+		}
+	}
+	a.Kick()
+}
+
+// RequestProactive marks epoch num for proactive flushing (PF, §3.2): the
+// flush engine will drain it as soon as ordering permits, but the request
+// does not override a conflict cause already recorded.
+func (a *Arbiter) RequestProactive(num uint64) {
+	r := a.table.Lookup(num)
+	if r == nil {
+		return
+	}
+	if !r.flushWanted {
+		r.flushWanted = true
+		r.Cause = CauseProactive
+	}
+	a.Kick()
+}
+
+// Kick re-evaluates the oldest unpersisted epoch. The machine layer calls
+// it whenever something that could unblock progress happens: a barrier
+// retires, a pending line drains naturally, a log write completes, or a
+// dependence source persists.
+func (a *Arbiter) Kick() {
+	for {
+		if a.flushing {
+			return
+		}
+		head := a.table.Oldest()
+		if head == nil {
+			return
+		}
+		if head.State == Open {
+			// Cannot persist or flush an ongoing epoch; the barrier
+			// (or a deadlock-avoidance split) must close it first.
+			return
+		}
+		if !a.subscribeDeps(head) {
+			// Waiting on an IDT source to persist. If our flush has been
+			// demanded, the demand must pull the sources along, or a
+			// source nobody flushes would stall us forever.
+			if head.flushWanted && a.demandSource != nil {
+				for i := range head.Deps {
+					d := &head.Deps[i]
+					if !d.persisted.Fired() && !d.demanded {
+						d.demanded = true
+						a.demandSource(d.Source, head.Cause)
+					}
+				}
+			}
+			return
+		}
+		if head.LogPending > 0 {
+			return // undo-log writes still in flight (§5.2.1)
+		}
+		if len(head.Pending) == 0 {
+			// Fully drained (naturally or by a completed flush).
+			if !head.flushWanted {
+				a.stats.NaturalPersists++
+			}
+			a.table.markPersisted(head, a.eng.Now())
+			continue
+		}
+		if head.FlushCompleted {
+			if len(head.Pending) > 0 && head.AcksInFlight == 0 {
+				// Not waiting on any ack: a line was re-dirtied by a
+				// same-epoch store while its old version's ack was in
+				// flight. Re-arm and flush the epoch again.
+				head.FlushCompleted = false
+				continue
+			}
+			// Waiting on straggler acks; the ack path re-kicks.
+			return
+		}
+		if !head.flushWanted {
+			return // buffered: wait for natural drain or a demand
+		}
+		a.flushing = true
+		head.State = Flushing
+		a.stats.FlushesDriven++
+		a.driver.FlushEpoch(head, func() {
+			a.flushing = false
+			head.FlushCompleted = true
+			a.Kick()
+		})
+		return
+	}
+}
+
+// subscribeDeps returns true when all IDT sources have persisted; for each
+// unpersisted source it arranges a one-time Kick on that source's persist.
+func (a *Arbiter) subscribeDeps(r *Record) bool {
+	ready := true
+	for i := range r.Deps {
+		d := &r.Deps[i]
+		if d.persisted.Fired() {
+			continue
+		}
+		ready = false
+		if !d.subscribed {
+			d.subscribed = true
+			d.persisted.Subscribe(a.Kick)
+		}
+	}
+	return ready
+}
+
+// Stats returns a snapshot of the arbiter's counters.
+func (a *Arbiter) Stats() ArbiterStats { return a.stats }

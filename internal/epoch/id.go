@@ -1,0 +1,71 @@
+// Package epoch implements the epoch-tracking hardware of the paper:
+// epoch identities, the per-core table of in-flight epochs, the IDT
+// (Inter-thread Dependence Tracking) dependence/inform registers, the
+// per-core epoch arbiter that orchestrates the multi-bank flush handshake,
+// and the deadlock-avoidance epoch-splitting rule of Section 3.3.
+package epoch
+
+import "fmt"
+
+// ID identifies one epoch: the core that created it and the core-local
+// epoch number. The paper stores this as CoreID+EpochID fields in cache
+// tags (Section 4.3); epoch numbers there wrap at 8 in-flight epochs, but
+// the simulator uses full-width numbers and enforces the in-flight limit
+// structurally in the Table.
+type ID struct {
+	Core int
+	Num  uint64
+}
+
+// None is the zero tag carried by lines that belong to no unpersisted
+// epoch (clean lines, or dirty lines whose epoch already persisted).
+var None = ID{Core: -1}
+
+// Valid reports whether the ID names a real epoch.
+func (id ID) Valid() bool { return id.Core >= 0 }
+
+// String implements fmt.Stringer.
+func (id ID) String() string {
+	if !id.Valid() {
+		return "epoch(none)"
+	}
+	return fmt.Sprintf("E%d.%d", id.Core, id.Num)
+}
+
+// Before reports whether id precedes other in the same core's program
+// order. IDs from different cores are never program-ordered.
+func (id ID) Before(other ID) bool {
+	return id.Valid() && other.Valid() && id.Core == other.Core && id.Num < other.Num
+}
+
+// State is an epoch's lifecycle position.
+type State uint8
+
+const (
+	// Open: the epoch is still executing; its persist barrier has not
+	// retired ("ongoing" in the paper's terms).
+	Open State = iota
+	// Completed: the barrier retired; the epoch's line set is final.
+	Completed
+	// Flushing: the arbiter is driving this epoch's flush handshake.
+	Flushing
+	// Persisted: every line (and log entry) reached NVRAM and the
+	// PersistCMP broadcast retired.
+	Persisted
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case Completed:
+		return "completed"
+	case Flushing:
+		return "flushing"
+	case Persisted:
+		return "persisted"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}

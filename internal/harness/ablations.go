@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"fmt"
+
+	"persistbarriers/internal/machine"
+	"persistbarriers/internal/stats"
+	"persistbarriers/internal/workload"
+)
+
+// AblationResults holds the design-choice studies DESIGN.md calls out:
+// IDT register count, in-flight epoch window, write-buffer depth, and the
+// PF/epoch-size interaction.
+type AblationResults struct {
+	Opt Options
+
+	// DepRegSweep: IDT register pairs -> (gmean normalized throughput vs
+	// LB, fallback count) on the BEP suite under LB++.
+	DepRegs          []int
+	DepRegThroughput map[int]float64
+	DepRegFallbacks  map[int]uint64
+
+	// WindowSweep: in-flight epoch limit -> gmean normalized throughput.
+	Windows          []int
+	WindowThroughput map[int]float64
+
+	// WriteBufferSweep: posted-store window -> gmean normalized
+	// throughput.
+	Buffers          []int
+	BufferThroughput map[int]float64
+
+	// Arbiter comparison: per-core arbiters (the paper's design) vs one
+	// global arbiter serializing all flushes (§4.1's bottleneck).
+	PerCoreArbiter float64
+	GlobalArbiter  float64
+}
+
+// suiteGmeanThroughput runs the BEP suite under cfg and returns the gmean
+// throughput normalized to the baseline results.
+func suiteGmeanThroughput(opt Options, cfg machine.Config, base map[string]*machine.Result) (float64, uint64, error) {
+	var vals []float64
+	var fallbacks uint64
+	for _, bench := range workload.MicrobenchmarkNames() {
+		p, err := microProgram(bench, opt)
+		if err != nil {
+			return 0, 0, err
+		}
+		r, err := runOne(cfg, p)
+		if err != nil {
+			return 0, 0, fmt.Errorf("%s: %w", bench, err)
+		}
+		vals = append(vals, r.Throughput()/base[bench].Throughput())
+		fallbacks += r.Conflicts.IDTFallbacks
+	}
+	return stats.Gmean(vals), fallbacks, nil
+}
+
+// RunAblations executes the design-choice sweeps. The baseline for every
+// normalization is plain LB at the default hardware sizing.
+func RunAblations(opt Options) (*AblationResults, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	base := make(map[string]*machine.Result)
+	for _, bench := range workload.MicrobenchmarkNames() {
+		p, err := microProgram(bench, opt)
+		if err != nil {
+			return nil, err
+		}
+		r, err := runOne(bepConfig(opt.Threads, false, false), p)
+		if err != nil {
+			return nil, err
+		}
+		base[bench] = r
+	}
+
+	out := &AblationResults{
+		Opt:              opt,
+		DepRegs:          []int{0, 1, 4, 16},
+		DepRegThroughput: make(map[int]float64),
+		DepRegFallbacks:  make(map[int]uint64),
+		Windows:          []int{2, 4, 8, 32},
+		WindowThroughput: make(map[int]float64),
+		Buffers:          []int{0, 8, 32, 128},
+		BufferThroughput: make(map[int]float64),
+	}
+
+	for _, regs := range out.DepRegs {
+		cfg := bepConfig(opt.Threads, true, true)
+		cfg.Epoch.DepRegs = regs
+		g, fb, err := suiteGmeanThroughput(opt, cfg, base)
+		if err != nil {
+			return nil, fmt.Errorf("depregs=%d: %w", regs, err)
+		}
+		out.DepRegThroughput[regs] = g
+		out.DepRegFallbacks[regs] = fb
+	}
+
+	for _, w := range out.Windows {
+		cfg := bepConfig(opt.Threads, true, true)
+		cfg.Epoch.MaxInFlight = w
+		g, _, err := suiteGmeanThroughput(opt, cfg, base)
+		if err != nil {
+			return nil, fmt.Errorf("window=%d: %w", w, err)
+		}
+		out.WindowThroughput[w] = g
+	}
+
+	for _, wb := range out.Buffers {
+		cfg := bepConfig(opt.Threads, true, true)
+		cfg.WriteBuffer = wb
+		g, _, err := suiteGmeanThroughput(opt, cfg, base)
+		if err != nil {
+			return nil, fmt.Errorf("writebuffer=%d: %w", wb, err)
+		}
+		out.BufferThroughput[wb] = g
+	}
+
+	perCore, _, err := suiteGmeanThroughput(opt, bepConfig(opt.Threads, true, true), base)
+	if err != nil {
+		return nil, err
+	}
+	out.PerCoreArbiter = perCore
+	gcfg := bepConfig(opt.Threads, true, true)
+	gcfg.GlobalArbiter = true
+	global, _, err := suiteGmeanThroughput(opt, gcfg, base)
+	if err != nil {
+		return nil, fmt.Errorf("global arbiter: %w", err)
+	}
+	out.GlobalArbiter = global
+	return out, nil
+}
+
+// Tables renders the ablation studies.
+func (a *AblationResults) Tables() []*stats.Table {
+	t1 := stats.NewTable(
+		"Ablation: IDT dependence registers per epoch (LB++ vs LB gmean throughput)",
+		"regs", "gmean vs LB", "register-full fallbacks")
+	for _, r := range a.DepRegs {
+		t1.AddRow(fmt.Sprintf("%d", r),
+			fmt.Sprintf("%.3f", a.DepRegThroughput[r]),
+			fmt.Sprintf("%d", a.DepRegFallbacks[r]))
+	}
+	t2 := stats.NewTable(
+		"Ablation: in-flight epoch window (LB++ vs LB gmean throughput)",
+		"window", "gmean vs LB")
+	for _, w := range a.Windows {
+		t2.AddF(fmt.Sprintf("%d", w), "%.3f", a.WindowThroughput[w])
+	}
+	t3 := stats.NewTable(
+		"Ablation: posted-store write buffer (LB++ vs LB gmean throughput)",
+		"entries", "gmean vs LB")
+	for _, w := range a.Buffers {
+		t3.AddF(fmt.Sprintf("%d", w), "%.3f", a.BufferThroughput[w])
+	}
+	t4 := stats.NewTable(
+		"Ablation: flush arbiter placement (LB++ vs LB gmean throughput, §4.1)",
+		"arbiter", "gmean vs LB")
+	t4.AddF("per-core (paper)", "%.3f", a.PerCoreArbiter)
+	t4.AddF("single global", "%.3f", a.GlobalArbiter)
+	return []*stats.Table{t1, t2, t3, t4}
+}

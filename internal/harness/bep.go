@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"fmt"
+
+	"persistbarriers/internal/epoch"
+	"persistbarriers/internal/machine"
+	"persistbarriers/internal/stats"
+	"persistbarriers/internal/workload"
+)
+
+// BEPResults holds the raw results behind Figures 11 and 12: every
+// micro-benchmark under every LB variant.
+type BEPResults struct {
+	Opt     Options
+	Benches []string
+	Results map[string]map[string]*machine.Result // bench -> variant -> result
+}
+
+// RunBEP executes the buffered-epoch-persistency study (Section 7.1).
+func RunBEP(opt Options) (*BEPResults, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	out := &BEPResults{
+		Opt:     opt,
+		Benches: workload.MicrobenchmarkNames(),
+		Results: make(map[string]map[string]*machine.Result),
+	}
+	for _, bench := range out.Benches {
+		out.Results[bench] = make(map[string]*machine.Result)
+		for _, variant := range BEPVariants {
+			idt, pf, err := variantFlags(variant)
+			if err != nil {
+				return nil, err
+			}
+			p, err := microProgram(bench, opt)
+			if err != nil {
+				return nil, err
+			}
+			r, err := runOne(bepConfig(opt.Threads, idt, pf), p)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", bench, variant, err)
+			}
+			out.Results[bench][variant] = r
+		}
+	}
+	return out, nil
+}
+
+// NormalizedThroughput returns a bench's variant throughput normalized to
+// LB — one bar of Figure 11.
+func (b *BEPResults) NormalizedThroughput(bench, variant string) float64 {
+	base := b.Results[bench]["LB"].Throughput()
+	if base == 0 {
+		return 0
+	}
+	return b.Results[bench][variant].Throughput() / base
+}
+
+// GmeanThroughput returns the geometric-mean normalized throughput of a
+// variant across the suite (Figure 11's gmean group).
+func (b *BEPResults) GmeanThroughput(variant string) float64 {
+	var vs []float64
+	for _, bench := range b.Benches {
+		vs = append(vs, b.NormalizedThroughput(bench, variant))
+	}
+	return stats.Gmean(vs)
+}
+
+// ConflictingPercent returns the percentage of epochs flushed because of a
+// conflict — one bar of Figure 12.
+func (b *BEPResults) ConflictingPercent(bench, variant string) float64 {
+	return b.Results[bench][variant].Epochs.ConflictingFraction() * 100
+}
+
+// AmeanConflicting returns the arithmetic-mean conflicting-epoch
+// percentage across the suite (Figure 12's amean group).
+func (b *BEPResults) AmeanConflicting(variant string) float64 {
+	var vs []float64
+	for _, bench := range b.Benches {
+		vs = append(vs, b.ConflictingPercent(bench, variant))
+	}
+	return stats.Amean(vs)
+}
+
+// Fig11Table renders Figure 11: transaction throughput normalized to LB.
+func (b *BEPResults) Fig11Table() *stats.Table {
+	t := stats.NewTable(
+		"Figure 11: Transaction throughput normalized to LB (BEP micro-benchmarks)",
+		append([]string{"bench"}, BEPVariants...)...)
+	for _, bench := range b.Benches {
+		vals := make([]float64, 0, len(BEPVariants))
+		for _, v := range BEPVariants {
+			vals = append(vals, b.NormalizedThroughput(bench, v))
+		}
+		t.AddF(bench, "%.3f", vals...)
+	}
+	gm := make([]float64, 0, len(BEPVariants))
+	for _, v := range BEPVariants {
+		gm = append(gm, b.GmeanThroughput(v))
+	}
+	t.AddF("gmean", "%.3f", gm...)
+	return t
+}
+
+// Fig12Table renders Figure 12: percentage of conflicting epochs.
+func (b *BEPResults) Fig12Table() *stats.Table {
+	t := stats.NewTable(
+		"Figure 12: Percentage of conflicting epochs (out of all persisted epochs)",
+		append([]string{"bench"}, BEPVariants...)...)
+	for _, bench := range b.Benches {
+		vals := make([]float64, 0, len(BEPVariants))
+		for _, v := range BEPVariants {
+			vals = append(vals, b.ConflictingPercent(bench, v))
+		}
+		t.AddF(bench, "%.1f", vals...)
+	}
+	am := make([]float64, 0, len(BEPVariants))
+	for _, v := range BEPVariants {
+		am = append(am, b.AmeanConflicting(v))
+	}
+	t.AddF("amean", "%.1f", am...)
+	return t
+}
+
+// ConflictKindsTable breaks epoch-flush causes down per variant for one
+// benchmark suite run — the §7.2 "86% of conflicts are inter-thread"
+// style analysis, applied to the BEP runs.
+func (b *BEPResults) ConflictKindsTable() *stats.Table {
+	t := stats.NewTable(
+		"Epoch flush causes (suite totals, % of persisted epochs)",
+		"variant", "intra", "inter", "eviction", "pressure", "proactive", "natural", "drain")
+	for _, v := range BEPVariants {
+		var agg machine.EpochAggregate
+		for _, bench := range b.Benches {
+			e := b.Results[bench][v].Epochs
+			agg.Persisted += e.Persisted
+			for i := range e.ByCause {
+				agg.ByCause[i] += e.ByCause[i]
+			}
+		}
+		pct := func(c epoch.FlushCause) float64 {
+			if agg.Persisted == 0 {
+				return 0
+			}
+			return 100 * float64(agg.ByCause[c]) / float64(agg.Persisted)
+		}
+		t.AddF(v, "%.1f",
+			pct(epoch.CauseIntra), pct(epoch.CauseInter), pct(epoch.CauseEviction),
+			pct(epoch.CausePressure), pct(epoch.CauseProactive), pct(epoch.CauseNatural),
+			pct(epoch.CauseDrain))
+	}
+	return t
+}

@@ -1,0 +1,287 @@
+package harness
+
+import (
+	"fmt"
+
+	"persistbarriers/internal/machine"
+	"persistbarriers/internal/stats"
+	"persistbarriers/internal/workload"
+)
+
+// bspConfig builds a bulk-mode BSP machine (§5.2): hardware-inserted
+// barriers every epochStores dynamic stores, register checkpointing, and
+// undo logging unless disabled.
+func bspConfig(threads, epochStores int, idt, pf, logging bool) machine.Config {
+	cfg := bepConfig(threads, idt, pf)
+	cfg.BulkEpochStores = epochStores
+	cfg.Logging = logging
+	cfg.CheckpointLines = 4
+	return cfg
+}
+
+// npConfig builds the No Persistency baseline (NVRAM as plain memory).
+func npConfig(threads int) machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.Cores = threads
+	cfg.Model = machine.NP
+	return cfg
+}
+
+// EpochSweepResults backs Figure 13: execution time for several hardware
+// epoch sizes, normalized to NP, per app model.
+type EpochSweepResults struct {
+	Opt   Options
+	Apps  []string
+	Sizes []int
+	// NP[app] is the baseline; Runs[app][size] the LB run.
+	NP   map[string]*machine.Result
+	Runs map[string]map[int]*machine.Result
+}
+
+// RunFig13 executes the epoch-size study (unoptimized LB barrier).
+func RunFig13(opt Options) (*EpochSweepResults, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if len(opt.EpochSizes) == 0 {
+		return nil, fmt.Errorf("harness: no epoch sizes configured")
+	}
+	out := &EpochSweepResults{
+		Opt:   opt,
+		Apps:  workload.AppNames(),
+		Sizes: opt.EpochSizes,
+		NP:    make(map[string]*machine.Result),
+		Runs:  make(map[string]map[int]*machine.Result),
+	}
+	for _, app := range out.Apps {
+		p, err := appProgram(app, opt)
+		if err != nil {
+			return nil, err
+		}
+		np, err := runOne(npConfig(opt.Threads), p)
+		if err != nil {
+			return nil, fmt.Errorf("%s/NP: %w", app, err)
+		}
+		out.NP[app] = np
+		out.Runs[app] = make(map[int]*machine.Result)
+		for _, size := range out.Sizes {
+			p, err := appProgram(app, opt)
+			if err != nil {
+				return nil, err
+			}
+			r, err := runOne(bspConfig(opt.Threads, size, false, false, true), p)
+			if err != nil {
+				return nil, fmt.Errorf("%s/LB%d: %w", app, size, err)
+			}
+			out.Runs[app][size] = r
+		}
+	}
+	return out, nil
+}
+
+// Normalized returns the execution-time overhead of one (app, size) run
+// relative to NP.
+func (e *EpochSweepResults) Normalized(app string, size int) float64 {
+	np := float64(e.NP[app].ExecCycles)
+	if np == 0 {
+		return 0
+	}
+	return float64(e.Runs[app][size].ExecCycles) / np
+}
+
+// GmeanNormalized returns the suite geometric mean for one epoch size.
+func (e *EpochSweepResults) GmeanNormalized(size int) float64 {
+	var vs []float64
+	for _, app := range e.Apps {
+		vs = append(vs, e.Normalized(app, size))
+	}
+	return stats.Gmean(vs)
+}
+
+// Fig13Table renders Figure 13.
+func (e *EpochSweepResults) Fig13Table() *stats.Table {
+	headers := []string{"app"}
+	for _, s := range e.Sizes {
+		headers = append(headers, fmt.Sprintf("LB%d", s))
+	}
+	t := stats.NewTable(
+		"Figure 13: Execution time with varying epoch sizes, normalized to NP",
+		headers...)
+	for _, app := range e.Apps {
+		vals := make([]float64, 0, len(e.Sizes))
+		for _, s := range e.Sizes {
+			vals = append(vals, e.Normalized(app, s))
+		}
+		t.AddF(app, "%.2f", vals...)
+	}
+	gm := make([]float64, 0, len(e.Sizes))
+	for _, s := range e.Sizes {
+		gm = append(gm, e.GmeanNormalized(s))
+	}
+	t.AddF("gmean", "%.2f", gm...)
+	return t
+}
+
+// BSPResults backs Figure 14: BSP under LB, LB+IDT, LB++, and LB++ without
+// logging, normalized to NP.
+type BSPResults struct {
+	Opt  Options
+	Apps []string
+	NP   map[string]*machine.Result
+	Runs map[string]map[string]*machine.Result // app -> variant -> result
+}
+
+// RunFig14 executes the BSP barrier-variant study at the configured bulk
+// epoch size.
+func RunFig14(opt Options) (*BSPResults, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	out := &BSPResults{
+		Opt:  opt,
+		Apps: workload.AppNames(),
+		NP:   make(map[string]*machine.Result),
+		Runs: make(map[string]map[string]*machine.Result),
+	}
+	for _, app := range out.Apps {
+		p, err := appProgram(app, opt)
+		if err != nil {
+			return nil, err
+		}
+		np, err := runOne(npConfig(opt.Threads), p)
+		if err != nil {
+			return nil, fmt.Errorf("%s/NP: %w", app, err)
+		}
+		out.NP[app] = np
+		out.Runs[app] = make(map[string]*machine.Result)
+		for _, variant := range BSPVariants {
+			idt, pf, err := variantFlags(variant)
+			if err != nil {
+				return nil, err
+			}
+			logging := variant != "LB++NOLOG"
+			p, err := appProgram(app, opt)
+			if err != nil {
+				return nil, err
+			}
+			r, err := runOne(bspConfig(opt.Threads, opt.BulkEpoch, idt, pf, logging), p)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", app, variant, err)
+			}
+			out.Runs[app][variant] = r
+		}
+	}
+	return out, nil
+}
+
+// Normalized returns execution time of (app, variant) relative to NP.
+func (b *BSPResults) Normalized(app, variant string) float64 {
+	np := float64(b.NP[app].ExecCycles)
+	if np == 0 {
+		return 0
+	}
+	return float64(b.Runs[app][variant].ExecCycles) / np
+}
+
+// GmeanNormalized returns the suite geometric mean for one variant.
+func (b *BSPResults) GmeanNormalized(variant string) float64 {
+	var vs []float64
+	for _, app := range b.Apps {
+		vs = append(vs, b.Normalized(app, variant))
+	}
+	return stats.Gmean(vs)
+}
+
+// Fig14Table renders Figure 14.
+func (b *BSPResults) Fig14Table() *stats.Table {
+	t := stats.NewTable(
+		"Figure 14: BSP execution time normalized to NP",
+		append([]string{"app"}, BSPVariants...)...)
+	for _, app := range b.Apps {
+		vals := make([]float64, 0, len(BSPVariants))
+		for _, v := range BSPVariants {
+			vals = append(vals, b.Normalized(app, v))
+		}
+		t.AddF(app, "%.2f", vals...)
+	}
+	gm := make([]float64, 0, len(BSPVariants))
+	for _, v := range BSPVariants {
+		gm = append(gm, b.GmeanNormalized(v))
+	}
+	t.AddF("gmean", "%.2f", gm...)
+	return t
+}
+
+// InterConflictShare returns the fraction of (intra+inter) conflicts that
+// were inter-thread across the suite for one variant — the paper's "a
+// large number (86%) of conflicts are inter-thread conflicts" claim.
+func (b *BSPResults) InterConflictShare(variant string) float64 {
+	var intra, inter uint64
+	for _, app := range b.Apps {
+		c := b.Runs[app][variant].Conflicts
+		intra += c.Intra
+		inter += c.Inter
+	}
+	if intra+inter == 0 {
+		return 0
+	}
+	return float64(inter) / float64(intra+inter)
+}
+
+// WriteThroughResults backs the §7.2 naive-BSP comparison (~8x NP).
+type WriteThroughResults struct {
+	Apps []string
+	NP   map[string]*machine.Result
+	WT   map[string]*machine.Result
+}
+
+// RunWriteThrough measures the naive write-through BSP design against NP.
+func RunWriteThrough(opt Options) (*WriteThroughResults, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	out := &WriteThroughResults{
+		Apps: workload.AppNames(),
+		NP:   make(map[string]*machine.Result),
+		WT:   make(map[string]*machine.Result),
+	}
+	wtCfg := machine.DefaultConfig()
+	wtCfg.Cores = opt.Threads
+	wtCfg.Model = machine.WT
+	for _, app := range out.Apps {
+		p, err := appProgram(app, opt)
+		if err != nil {
+			return nil, err
+		}
+		np, err := runOne(npConfig(opt.Threads), p)
+		if err != nil {
+			return nil, err
+		}
+		out.NP[app] = np
+		p, err = appProgram(app, opt)
+		if err != nil {
+			return nil, err
+		}
+		wt, err := runOne(wtCfg, p)
+		if err != nil {
+			return nil, err
+		}
+		out.WT[app] = wt
+	}
+	return out, nil
+}
+
+// Table renders the write-through overhead per app and its gmean.
+func (w *WriteThroughResults) Table() *stats.Table {
+	t := stats.NewTable(
+		"Naive write-through BSP: execution time normalized to NP (§7.2 text, ~8x)",
+		"app", "WT/NP")
+	var vs []float64
+	for _, app := range w.Apps {
+		v := float64(w.WT[app].ExecCycles) / float64(w.NP[app].ExecCycles)
+		vs = append(vs, v)
+		t.AddF(app, "%.2f", v)
+	}
+	t.AddF("gmean", "%.2f", stats.Gmean(vs))
+	return t
+}

@@ -1,0 +1,147 @@
+// Package harness runs the paper's experiments end to end: it builds
+// machines, generates workloads, sweeps parameters, and renders tables
+// whose rows correspond to the bars of each figure in the evaluation
+// (Section 7). Every figure and table of the paper has a RunFigN /
+// TableN entry point here; cmd/figures exposes them on the command line.
+package harness
+
+import (
+	"fmt"
+
+	"persistbarriers/internal/machine"
+	"persistbarriers/internal/trace"
+	"persistbarriers/internal/workload"
+)
+
+// Options scales the experiments. The paper's full-size parameters (32
+// cores, epochs of 300/1K/10K dynamic stores) are the defaults; tests and
+// quick runs scale them down.
+type Options struct {
+	// Threads is the core/thread count (paper: 32).
+	Threads int
+	// MicroOps is data-structure transactions per thread for the BEP
+	// micro-benchmarks.
+	MicroOps int
+	// AppOps is memory operations per thread for the BSP app models.
+	AppOps int
+	// EpochSizes is the Figure 13 sweep (dynamic stores per hardware
+	// epoch).
+	EpochSizes []int
+	// BulkEpoch is the hardware epoch size for Figure 14 (paper: 10000,
+	// "as this is what gave the best results").
+	BulkEpoch int
+	// Seed drives workload generation.
+	Seed uint64
+}
+
+// Defaults returns the paper-faithful option set. A full figure
+// regeneration at these sizes takes a few minutes of host CPU.
+func Defaults() Options {
+	return Options{
+		Threads:    32,
+		MicroOps:   40,
+		AppOps:     12000,
+		EpochSizes: []int{300, 1000, 10000},
+		BulkEpoch:  10000,
+		Seed:       42,
+	}
+}
+
+// Quick returns a scaled-down option set for tests and smoke runs. The
+// epoch sweep is scaled with the shorter traces so every size still closes
+// multiple epochs per thread.
+func Quick() Options {
+	return Options{
+		Threads:    8,
+		MicroOps:   15,
+		AppOps:     2500,
+		EpochSizes: []int{30, 100, 1000},
+		BulkEpoch:  250,
+		Seed:       42,
+	}
+}
+
+func (o Options) validate() error {
+	if o.Threads <= 0 || o.Threads > 32 {
+		return fmt.Errorf("harness: Threads must be in 1..32, got %d", o.Threads)
+	}
+	if o.MicroOps <= 0 || o.AppOps <= 0 {
+		return fmt.Errorf("harness: op counts must be positive")
+	}
+	if o.BulkEpoch <= 0 {
+		return fmt.Errorf("harness: BulkEpoch must be positive")
+	}
+	return nil
+}
+
+// Variant names in the paper's figure order.
+var (
+	// BEPVariants are the Figure 11/12 bars.
+	BEPVariants = []string{"LB", "LB+IDT", "LB+PF", "LB++"}
+	// BSPVariants are the Figure 14 bars.
+	BSPVariants = []string{"LB", "LB+IDT", "LB++", "LB++NOLOG"}
+)
+
+// bepConfig builds the machine for a buffered-epoch-persistency run.
+func bepConfig(threads int, idt, pf bool) machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.Cores = threads
+	cfg.Model = machine.LB
+	cfg.IDT = idt
+	cfg.PF = pf
+	return cfg
+}
+
+// variantFlags maps a variant name to its IDT/PF switches.
+func variantFlags(name string) (idt, pf bool, err error) {
+	switch name {
+	case "LB":
+		return false, false, nil
+	case "LB+IDT":
+		return true, false, nil
+	case "LB+PF":
+		return false, true, nil
+	case "LB++", "LB++NOLOG":
+		return true, true, nil
+	default:
+		return false, false, fmt.Errorf("harness: unknown variant %q", name)
+	}
+}
+
+// runOne executes a program on a machine built from cfg.
+func runOne(cfg machine.Config, p *trace.Program) (*machine.Result, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Load(p); err != nil {
+		return nil, err
+	}
+	r, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	if r.Deadlocked {
+		return nil, fmt.Errorf("harness: %s run deadlocked", cfg.BarrierName())
+	}
+	return r, nil
+}
+
+// microProgram regenerates a micro-benchmark trace (each run needs a fresh
+// program because generation is deterministic per spec).
+func microProgram(name string, opt Options) (*trace.Program, error) {
+	gen, ok := workload.Microbenchmarks()[name]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown micro-benchmark %q", name)
+	}
+	return gen(workload.Spec{Threads: opt.Threads, OpsPerThread: opt.MicroOps, Seed: opt.Seed})
+}
+
+// appProgram regenerates a BSP app-model trace.
+func appProgram(name string, opt Options) (*trace.Program, error) {
+	prof, ok := workload.Apps()[name]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown app %q", name)
+	}
+	return prof.Generate(workload.Spec{Threads: opt.Threads, OpsPerThread: opt.AppOps, Seed: opt.Seed})
+}

@@ -1,0 +1,627 @@
+package machine
+
+import (
+	"fmt"
+
+	"persistbarriers/internal/epoch"
+	"persistbarriers/internal/mem"
+	"persistbarriers/internal/noc"
+	"persistbarriers/internal/nvram"
+	"persistbarriers/internal/sim"
+)
+
+// access serves one load or store for core c, firing done at completion.
+// This is the path on which epoch conflicts are detected (Section 3).
+func (m *Machine) access(c *coreCtx, kind mem.Kind, line mem.Line, done func()) {
+	if ent, hit := c.l1.Lookup(line); hit {
+		if kind == mem.Load {
+			m.eng.After(m.cfg.L1Latency, done)
+			return
+		}
+		d := m.dirEntryFor(line)
+		if d.owner == c.id {
+			// Exclusive hit. The only ordering hazard is an intra-thread
+			// conflict with the line's own older-epoch tag.
+			m.resolveConflict(c, kind, line, ent.Tag, func(dep *epoch.Record) {
+				m.tryCommitStore(c, line, dep, done)
+			})
+			return
+		}
+		// Shared hit needing an upgrade: take the LLC path for ownership.
+	}
+	b := m.bank(line)
+	m.eng.After(m.cfg.L1Latency+m.mesh.Latency(c.tile, b.tile, 0), func() {
+		m.atBank(c, kind, line, b, done)
+	})
+}
+
+// atBank is the request's arrival at the home LLC bank. The bank admits
+// one request per line at a time (the transient-state blocking a real
+// controller's MSHRs provide): competing requests queue behind the line's
+// busy signal, which eliminates ownership races and request livelock.
+func (m *Machine) atBank(c *coreCtx, kind mem.Kind, line mem.Line, b *bankCtx, done func()) {
+	if sig := m.busy[line]; sig != nil {
+		sig.Subscribe(func() { m.atBank(c, kind, line, b, done) })
+		return
+	}
+	sig := &sim.Signal{}
+	m.busy[line] = sig
+	if m.cfg.DebugLine != 0 {
+		m.busyInfo[line] = fmt.Sprintf("core=%d kind=%v at=%d", c.id, kind, m.eng.Now())
+	}
+	m.atBankLocked(c, kind, line, b, func() {
+		delete(m.busy, line)
+		delete(m.busyInfo, line)
+		sig.Fire()
+		done()
+	})
+}
+
+// atBankLocked processes a request that holds the line's transient state:
+// recall a remote modified copy, ensure residency, run the conflict check,
+// then grant.
+func (m *Machine) atBankLocked(c *coreCtx, kind mem.Kind, line mem.Line, b *bankCtx, done func()) {
+	phase := func(p string) {
+		if m.cfg.DebugLine == 0 {
+			return
+		}
+		if _, held := m.busy[line]; held {
+			m.busyInfo[line] = fmt.Sprintf("core=%d kind=%v phase=%s at=%d", c.id, kind, p, m.eng.Now())
+		}
+	}
+	if sig := m.mshr[line]; sig != nil {
+		// A fill for this line is in flight; merge behind it.
+		phase("mshr-wait")
+		sig.Subscribe(func() { m.atBankLocked(c, kind, line, b, done) })
+		return
+	}
+	d := m.dirEntryFor(line)
+	if d.owner >= 0 && d.owner != c.id {
+		phase("recall")
+		m.recallOwner(c, kind, line, b, d, func() { m.atBankLocked(c, kind, line, b, done) })
+		return
+	}
+	if !b.arr.Contains(line) {
+		phase("fill")
+		m.llcFill(c, b, line, func() { m.atBankLocked(c, kind, line, b, done) })
+		return
+	}
+	ent, _ := b.arr.Lookup(line)
+	phase("conflict")
+	m.resolveConflict(c, kind, line, ent.Tag, func(dep *epoch.Record) {
+		// An online resolution may have waited; if a new epoch's version
+		// landed in the LLC meanwhile, the conflict check must be redone
+		// against the fresh tag.
+		if cur, ok := b.arr.Peek(line); !ok || cur.Tag != ent.Tag {
+			m.atBankLocked(c, kind, line, b, done)
+			return
+		}
+		phase("grant")
+		m.grant(c, kind, line, b, d, dep, done)
+	})
+}
+
+// recallOwner pulls the line out of the current owner's L1: its dirty data
+// is written back into the LLC copy, and the owner's copy is invalidated
+// (store) or downgraded to shared (load).
+func (m *Machine) recallOwner(c *coreCtx, kind mem.Kind, line mem.Line, b *bankCtx, d *dirEntry, cont func()) {
+	o := m.cores[d.owner]
+	lat := m.mesh.Latency(b.tile, o.tile, 0) + m.cfg.L1Latency + m.mesh.Latency(o.tile, b.tile, mem.LineSize)
+	m.eng.After(lat, func() {
+		if d.owner != o.id {
+			cont() // another request already recalled it
+			return
+		}
+		ent, has := o.l1.Peek(line)
+		m.dbg(line, "recallOwner from=%d kind=%v has=%v dirty=%v tag=%v ver=%d", o.id, kind, has, ent.Dirty, ent.Tag, ent.Version)
+		finish := func() {
+			// The writeback may have waited on an epoch flush and the
+			// world may have moved. Downgrade o's copy only if it still
+			// holds at most the version we wrote back — a newer version
+			// means o recommitted and must stay the tracked owner. A
+			// vanished copy also releases ownership, or the recall would
+			// retry forever.
+			pe, ok := o.l1.Peek(line)
+			switch {
+			case !ok:
+				d.sharers &^= 1 << uint(o.id)
+				if d.owner == o.id {
+					d.owner = -1
+				}
+			case pe.Version <= ent.Version:
+				if kind == mem.Store {
+					o.l1.Invalidate(line)
+					d.sharers &^= 1 << uint(o.id)
+				} else {
+					o.l1.CleanLine(line)
+					d.sharers |= 1 << uint(o.id)
+				}
+				if d.owner == o.id {
+					d.owner = -1
+				}
+			}
+			cont()
+		}
+		if has && ent.Dirty {
+			m.llcApplyWriteback(b, line, ent.Tag, ent.Version, finish)
+			return
+		}
+		finish()
+	})
+}
+
+// llcApplyWriteback merges a written-back dirty line into the LLC copy.
+// If the LLC copy holds an unpersisted version from a different epoch, that
+// version must reach NVRAM first (the multi-version collision of §3.1's
+// write-after-write case), so the writeback stalls behind a demanded flush.
+func (m *Machine) llcApplyWriteback(b *bankCtx, line mem.Line, tag epoch.ID, ver mem.Version, cont func()) {
+	if !b.arr.Contains(line) {
+		// Inclusion was broken by a concurrent eviction: re-establish.
+		m.dbg(line, "llcApplyWriteback reinsert tag=%v ver=%d", tag, ver)
+		m.llcInsert(nil, b, line, ver, func() {
+			m.llcApplyWriteback(b, line, tag, ver, cont)
+		})
+		return
+	}
+	ent, _ := b.arr.Peek(line)
+	if ent.Version > ver {
+		m.dbg(line, "llcApplyWriteback stale-skip tag=%v ver=%d entVer=%d entTag=%v entDirty=%v", tag, ver, ent.Version, ent.Tag, ent.Dirty)
+		cont() // a newer version already landed; drop the stale data
+		return
+	}
+	if ent.Version == ver {
+		// Same version: either a duplicate writeback (already dirty and
+		// tracked) or our own clean placeholder from the reinsert path.
+		// Restore the dirty state and epoch tag only if the version's
+		// epoch is still unpersisted; otherwise the copy is legitimately
+		// clean.
+		if !ent.Dirty && m.lookupRec(tag) != nil {
+			m.dbg(line, "llcApplyWriteback restore-tag tag=%v ver=%d", tag, ver)
+			b.arr.Write(line, tag, ver)
+		}
+		cont()
+		return
+	}
+	if ent.Dirty && ent.Tag.Valid() && ent.Tag != tag {
+		if rec := m.lookupRec(ent.Tag); rec != nil {
+			m.evictionConflicts++
+			rec.ConflictDemanded = true
+			src := m.cores[ent.Tag.Core]
+			m.demandFlush(src, rec, epoch.CauseEviction, func() {
+				m.llcApplyWriteback(b, line, tag, ver, cont)
+			})
+			return
+		}
+	}
+	m.dbg(line, "llcApplyWriteback apply tag=%v ver=%d", tag, ver)
+	b.arr.Write(line, tag, ver)
+	cont()
+}
+
+// llcFill fetches a missing line from NVRAM into the bank.
+func (m *Machine) llcFill(c *coreCtx, b *bankCtx, line mem.Line, cont func()) {
+	sig := &sim.Signal{}
+	m.mshr[line] = sig
+	mc := m.mcs.ControllerFor(line)
+	mcTile := m.mcTiles[mc.ID()]
+	m.eng.After(m.mesh.Latency(b.tile, mcTile, 0), func() {
+		mc.Read(line, func() {
+			m.eng.After(m.mesh.Latency(mcTile, b.tile, mem.LineSize), func() {
+				m.llcInsert(c, b, line, m.latest[line], func() {
+					delete(m.mshr, line)
+					sig.Fire()
+					cont()
+				})
+			})
+		})
+	})
+}
+
+// llcInsert places a line into the bank, resolving the victim's coherence
+// and persist-ordering obligations. c (may be nil) is the core whose
+// request is stalled, for stall attribution.
+func (m *Machine) llcInsert(c *coreCtx, b *bankCtx, line mem.Line, ver mem.Version, cont func()) {
+	if b.arr.Contains(line) {
+		cont()
+		return
+	}
+	// Never evict a line another request is actively transacting (its
+	// busy signal is held): stealing it mid-transfer livelocks under
+	// heavy set contention. If every way is busy, retry shortly.
+	avoid := func(l mem.Line) bool { return m.busy[l] != nil }
+	v, full, ok := b.arr.VictimAvoiding(line, avoid)
+	if !ok {
+		m.eng.After(m.cfg.LLCLatency, func() { m.llcInsert(c, b, line, ver, cont) })
+		return
+	}
+	if !full {
+		b.arr.Insert(line, false, epoch.None, ver)
+		cont()
+		return
+	}
+	vd := m.dirEntryFor(v.Line)
+	if vd.owner >= 0 {
+		// A private cache holds the victim modified: recall it into the
+		// LLC first so its data is not lost, then retry.
+		o := m.cores[vd.owner]
+		ent, has := o.l1.Peek(v.Line)
+		if has && ent.Dirty {
+			lat := m.mesh.Latency(b.tile, o.tile, 0) + m.cfg.L1Latency + m.mesh.Latency(o.tile, b.tile, mem.LineSize)
+			m.eng.After(lat, func() {
+				m.llcApplyWriteback(b, v.Line, ent.Tag, ent.Version, func() {
+					if vd.owner == o.id {
+						o.l1.Invalidate(v.Line)
+						vd.owner = -1
+						vd.sharers &^= 1 << uint(o.id)
+					}
+					m.llcInsert(c, b, line, ver, cont)
+				})
+			})
+			return
+		}
+		vd.owner = -1
+	}
+	finishInsert := func() {
+		m.dbg(v.Line, "llcInsert evict victim dirty=%v tag=%v ver=%d", v.Dirty, v.Tag, v.Version)
+		m.backInvalidate(v.Line, vd)
+		if vd.owner >= 0 {
+			// A dirty private copy survived an ownership race; the
+			// victim cannot leave yet. Retry around it.
+			m.llcInsert(c, b, line, ver, cont)
+			return
+		}
+		if b.arr.Contains(v.Line) {
+			b.arr.InsertReplacing(line, v.Line, false, epoch.None, ver)
+		} else {
+			m.llcInsert(c, b, line, ver, cont)
+			return
+		}
+		cont()
+	}
+	if !v.Dirty {
+		finishInsert()
+		return
+	}
+	rec := m.lookupRec(v.Tag)
+	if rec == nil {
+		// Untagged dirty data (NP/SP/WT, or an already-persisted epoch):
+		// plain fire-and-forget writeback.
+		m.nvramWriteFrom(b.tile, nil, v.Line, v.Version, nil)
+		finishInsert()
+		return
+	}
+	src := m.cores[v.Tag.Core]
+	if m.canDrainLine(src, rec) {
+		// Natural replacement persists the line offline — the mechanism
+		// LB relies on (§2.1).
+		m.nvramWriteFrom(b.tile, rec, v.Line, v.Version, nil)
+		finishInsert()
+		return
+	}
+	// Persist ordering forbids writing this line yet: older epochs (or
+	// IDT sources) must persist first. Demand the flush and retry.
+	m.evictionConflicts++
+	rec.ConflictDemanded = true
+	t0 := m.eng.Now()
+	m.demandFlush(src, rec, epoch.CauseEviction, func() {
+		if c != nil {
+			c.stalls[StallEviction] += m.eng.Now() - t0
+		}
+		m.llcInsert(c, b, line, ver, cont)
+	})
+}
+
+// canDrainLine reports whether a line of rec may be written to NVRAM right
+// now without violating epoch ordering: rec must be the core's oldest
+// unpersisted epoch, with all IDT sources persisted and its undo-log
+// entries durable.
+func (m *Machine) canDrainLine(src *coreCtx, rec *epoch.Record) bool {
+	return src.table.Oldest() == rec && rec.DepsPersisted() && rec.LogPending == 0
+}
+
+// backInvalidate removes the clean L1 copies of a line the LLC is
+// evicting (inclusion). Dirty copies are never dropped here: the caller
+// recalls the tracked owner, and a dirty copy surviving an ownership race
+// stays resident (inclusion is re-established by its eventual writeback).
+func (m *Machine) backInvalidate(line mem.Line, d *dirEntry) {
+	keptOwner := false
+	for _, o := range m.cores {
+		pe, ok := o.l1.Peek(line)
+		if !ok {
+			continue
+		}
+		if pe.Dirty {
+			d.owner = o.id
+			d.sharers = 1 << uint(o.id)
+			keptOwner = true
+			continue
+		}
+		o.l1.Invalidate(line)
+		d.sharers &^= 1 << uint(o.id)
+	}
+	if !keptOwner {
+		d.sharers = 0
+		d.owner = -1
+	}
+}
+
+// grant finishes a request at the bank: data response for loads,
+// ownership (with sharer invalidation) for stores. dep is the deferred
+// inter-thread dependence to attach at completion.
+func (m *Machine) grant(c *coreCtx, kind mem.Kind, line mem.Line, b *bankCtx, d *dirEntry, dep *epoch.Record, done func()) {
+	if !b.arr.Contains(line) {
+		m.atBankLocked(c, kind, line, b, done) // evicted while we waited: restart
+		return
+	}
+	if kind == mem.Store && d.owner >= 0 && d.owner != c.id {
+		m.atBankLocked(c, kind, line, b, done) // ownership raced away: restart
+		return
+	}
+	ent, _ := b.arr.Peek(line)
+	respLat := m.cfg.LLCLatency + m.mesh.Latency(b.tile, c.tile, mem.LineSize)
+	if kind == mem.Store {
+		// Invalidate the other sharers; the slowest round trip bounds
+		// the grant.
+		var invLat sim.Cycle
+		for _, o := range m.cores {
+			if o.id != c.id && d.sharers&(1<<uint(o.id)) != 0 {
+				if se, ok := o.l1.Peek(line); ok && se.Dirty {
+					// A dirty copy must be recalled through the owner
+					// path, never dropped as a sharer.
+					panic(fmt.Sprintf("machine: invalidating dirty copy of %v in L1-%d", line, o.id))
+				}
+				o.l1.Invalidate(line)
+				rt := 2 * m.mesh.Latency(b.tile, o.tile, 0)
+				if rt > invLat {
+					invLat = rt
+				}
+			}
+		}
+		d.sharers = 1 << uint(c.id)
+		d.owner = c.id
+		if invLat > respLat {
+			respLat = invLat
+		}
+		// The line's busy signal (held since atBank) covers the transfer
+		// until the commit completes.
+		m.eng.After(respLat, func() {
+			m.l1Fill(c, line, ent.Version, func() {
+				m.tryCommitStoreEx(c, line, dep, true, done)
+			})
+		})
+		return
+	}
+	d.sharers |= 1 << uint(c.id)
+	m.eng.After(respLat, func() {
+		m.l1Fill(c, line, ent.Version, func() {
+			// Loads attach their inter-thread dependence at completion.
+			m.attachDep(c, dep, done)
+		})
+	})
+}
+
+// tryCommitStore commits a store whose ordering conflicts were resolved,
+// but only if the core still holds the line and no other core snatched
+// ownership during the waits; otherwise the access restarts. The
+// dependence attachment, the check, and the commit happen in one event, so
+// exactly one contender wins and the dependence lands on the epoch that
+// tags the line.
+func (m *Machine) tryCommitStore(c *coreCtx, line mem.Line, dep *epoch.Record, done func()) {
+	m.tryCommitStoreEx(c, line, dep, false, done)
+}
+
+// tryCommitStoreEx is tryCommitStore with locked reporting whether the
+// caller holds the line's busy signal (the grant path does; the exclusive
+// L1-hit path does not); restarts route accordingly.
+func (m *Machine) tryCommitStoreEx(c *coreCtx, line mem.Line, dep *epoch.Record, locked bool, done func()) {
+	restart := func() {
+		if locked {
+			m.atBankLocked(c, mem.Store, line, m.bank(line), done)
+			return
+		}
+		m.access(c, mem.Store, line, done)
+	}
+	d := m.dirEntryFor(line)
+	if ent, hit := c.l1.Peek(line); hit && (d.owner == c.id || d.owner == -1) {
+		// With posted stores, an earlier same-core store (or an epoch
+		// split) may have tagged the line with an older epoch since the
+		// conflict check ran: that is an intra-thread conflict and must
+		// flush first (§3.2).
+		if ent.Dirty && ent.Tag.Valid() && ent.Tag.Core == c.id && ent.Tag != c.table.Current().ID {
+			if rec := c.table.Lookup(ent.Tag.Num); rec != nil {
+				m.intraConflicts++
+				rec.ConflictDemanded = true
+				c.arb.DemandThrough(ent.Tag.Num, epoch.CauseIntra)
+				m.stallUntil(c, &rec.Persisted, StallIntra, func() {
+					m.tryCommitStoreEx(c, line, dep, locked, done)
+				})
+				return
+			}
+		}
+		if dep != nil && dep.State != epoch.Persisted {
+			// Attach the deferred inter-thread dependence, then rerun
+			// every check: the register-full fallback may have waited,
+			// and the world may have moved meanwhile. On the synchronous
+			// success path the recheck happens in this same event.
+			m.attachDep(c, dep, func() {
+				m.tryCommitStoreEx(c, line, nil, locked, done)
+			})
+			return
+		}
+		m.finishStore(c, line, done)
+		return
+	}
+	restart()
+}
+
+// l1Fill installs a line into c's L1, writing back a dirty victim first.
+func (m *Machine) l1Fill(c *coreCtx, line mem.Line, ver mem.Version, cont func()) {
+	if c.l1.Contains(line) {
+		cont() // upgrade: data already present
+		return
+	}
+	v, full := c.l1.Victim(line)
+	if full && v.Dirty {
+		vb := m.bank(v.Line)
+		m.eng.After(m.mesh.Latency(c.tile, vb.tile, mem.LineSize), func() {
+			m.llcApplyWriteback(vb, v.Line, v.Tag, v.Version, func() {
+				if ent, has := c.l1.Peek(v.Line); has && ent.Dirty {
+					c.l1.Invalidate(v.Line)
+					vd := m.dirEntryFor(v.Line)
+					if vd.owner == c.id {
+						vd.owner = -1
+					}
+					vd.sharers &^= 1 << uint(c.id)
+				}
+				m.l1Fill(c, line, ver, cont)
+			})
+		})
+		return
+	}
+	c.l1.Insert(line, false, epoch.None, ver)
+	cont()
+}
+
+// finishStore commits the store and applies the model's persist rule.
+func (m *Machine) finishStore(c *coreCtx, line mem.Line, done func()) {
+	ver := m.commitStore(c, line)
+	switch m.cfg.Model {
+	case SP:
+		m.eng.After(m.cfg.L1Latency, func() { m.spPersist(c, line, ver, done) })
+	case WT:
+		m.eng.After(m.cfg.L1Latency, func() { m.wtPersist(c, line, ver, done) })
+	default:
+		m.eng.After(m.cfg.L1Latency, done)
+	}
+}
+
+// commitStore writes the line into c's L1 with the current epoch's tag,
+// records pending/write-set state, and issues the undo-log write on the
+// first modification in the epoch (§5.2.1). It returns the new version.
+func (m *Machine) commitStore(c *coreCtx, line mem.Line) mem.Version {
+	ver := m.vs.Next()
+	m.latest[line] = ver
+	d := m.dirEntryFor(line)
+	d.owner = c.id
+	d.sharers |= 1 << uint(c.id)
+	if !m.usesEpochs() {
+		c.l1.Write(line, epoch.None, ver)
+		return ver
+	}
+	cur := c.table.Current()
+	first := cur.AddPending(line)
+	prev := c.l1.Write(line, cur.ID, ver)
+	m.dbg(line, "commitStore core=%d epoch=%v ver=%d prev={dirty=%v tag=%v ver=%d}", c.id, cur.ID, ver, prev.Dirty, prev.Tag, prev.Version)
+	if prev.Dirty && prev.Tag.Valid() && prev.Tag != cur.ID && m.lookupRec(prev.Tag) != nil {
+		panic(fmt.Sprintf("machine: store on core %d overwrote unpersisted %v version of %v",
+			c.id, prev.Tag, line))
+	}
+	cur.StoreCount++
+	if m.cfg.RecordHistory {
+		cur.Writes[line] = ver
+	}
+	if m.cfg.Logging && first {
+		m.logWrites++
+		cur.LogPending++
+		mc := m.mcs.ControllerFor(line)
+		mcTile := m.mcTiles[mc.ID()]
+		entry := nvram.LogEntry{Line: line, Old: prev.Version, EpochCore: cur.ID.Core, EpochNum: cur.ID.Num}
+		m.eng.After(m.mesh.Latency(c.tile, mcTile, mem.LineSize), func() {
+			mc.WriteLog(entry, func() {
+				cur.LogPending--
+				c.arb.Kick()
+			})
+		})
+	}
+	return ver
+}
+
+// spPersist synchronously persists one store (strict persistency rule S2).
+func (m *Machine) spPersist(c *coreCtx, line mem.Line, ver mem.Version, done func()) {
+	t0 := m.eng.Now()
+	mc := m.mcs.ControllerFor(line)
+	mcTile := m.mcTiles[mc.ID()]
+	m.eng.After(m.mesh.Latency(c.tile, mcTile, mem.LineSize), func() {
+		mc.Write(line, ver, func() {
+			m.lineDurable(nil, line, ver)
+			m.eng.After(m.mesh.Latency(mcTile, c.tile, 0), func() {
+				c.stalls[StallPersistQueue] += m.eng.Now() - t0
+				done()
+			})
+		})
+	})
+}
+
+// wtPersist enqueues a non-coalesced NVRAM write (naive BSP): visibility
+// is decoupled (rule S2 relaxed) so the store completes immediately, but
+// rule S1 still holds — a core's persists happen strictly in program
+// order, so each write issues only after its predecessor's PersistAck.
+// The core stalls when the per-core persist queue is full. This is the
+// design the paper measures at ~8x NP (§7.2).
+func (m *Machine) wtPersist(c *coreCtx, line mem.Line, ver mem.Version, done func()) {
+	if c.wtInFlight >= m.cfg.WTQueue {
+		t0 := m.eng.Now()
+		c.wtWaiters = append(c.wtWaiters, func() {
+			c.stalls[StallPersistQueue] += m.eng.Now() - t0
+			m.wtPersist(c, line, ver, done)
+		})
+		return
+	}
+	c.wtInFlight++
+	c.wtQueue = append(c.wtQueue, wtWrite{line: line, ver: ver})
+	if len(c.wtQueue) == 1 {
+		m.wtIssueHead(c)
+	}
+	done()
+}
+
+// wtIssueHead sends the oldest queued persist to its controller; the ack
+// releases a queue slot and issues the next one, serializing the core's
+// persists in program order.
+func (m *Machine) wtIssueHead(c *coreCtx) {
+	w := c.wtQueue[0]
+	mc := m.mcs.ControllerFor(w.line)
+	mcTile := m.mcTiles[mc.ID()]
+	m.eng.After(m.mesh.Latency(c.tile, mcTile, mem.LineSize), func() {
+		mc.Write(w.line, w.ver, func() {
+			m.lineDurable(nil, w.line, w.ver)
+			c.wtQueue = c.wtQueue[1:]
+			c.wtInFlight--
+			if len(c.wtQueue) > 0 {
+				m.wtIssueHead(c)
+			}
+			if len(c.wtWaiters) > 0 {
+				waiter := c.wtWaiters[0]
+				c.wtWaiters = c.wtWaiters[1:]
+				waiter()
+			}
+		})
+	})
+}
+
+// nvramWriteFrom issues a durable line write from a tile, notifying the
+// epoch bookkeeping (and optional ack) when the PersistAck returns.
+func (m *Machine) nvramWriteFrom(from noc.Tile, rec *epoch.Record, line mem.Line, ver mem.Version, ack func()) {
+	if rec != nil {
+		rec.AcksInFlight++
+	}
+	mc := m.mcs.ControllerFor(line)
+	mcTile := m.mcTiles[mc.ID()]
+	m.eng.After(m.mesh.Latency(from, mcTile, mem.LineSize), func() {
+		mc.Write(line, ver, func() {
+			m.lineDurable(rec, line, ver)
+			if ack != nil {
+				ack()
+			}
+		})
+	})
+}
+
+// lookupRec resolves a cache tag to its live epoch record, or nil when the
+// epoch has persisted (or the model tracks no epochs).
+func (m *Machine) lookupRec(tag epoch.ID) *epoch.Record {
+	if !tag.Valid() || !m.usesEpochs() {
+		return nil
+	}
+	return m.cores[tag.Core].table.Lookup(tag.Num)
+}

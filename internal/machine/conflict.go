@@ -1,0 +1,153 @@
+package machine
+
+import (
+	"persistbarriers/internal/epoch"
+	"persistbarriers/internal/mem"
+)
+
+// resolveConflict enforces the epoch-conflict rules of Section 3 before a
+// request may complete against a line carrying epoch tag `tag`. cont
+// receives the inter-thread source epoch whose dependence must be attached
+// to the requesting epoch at completion time (nil when the request may
+// complete without tracking anything). Deferring the attachment to
+// completion matters: a deadlock-avoidance split can advance the
+// requester's epoch between resolution and commit, and the dependence
+// belongs to the epoch that finally performs the access.
+func (m *Machine) resolveConflict(c *coreCtx, kind mem.Kind, line mem.Line, tag epoch.ID, cont func(dep *epoch.Record)) {
+	if !m.usesEpochs() || !tag.Valid() {
+		cont(nil)
+		return
+	}
+	if tag.Core == c.id {
+		// Intra-thread: reads never conflict (program-order persist
+		// tracking already covers them, §3.2); writes to a line of an
+		// older unpersisted epoch must flush that epoch first.
+		if kind == mem.Load {
+			cont(nil)
+			return
+		}
+		rec := c.table.Lookup(tag.Num)
+		if rec == nil || rec == c.table.Current() {
+			cont(nil)
+			return
+		}
+		m.intraConflicts++
+		rec.ConflictDemanded = true
+		c.arb.DemandThrough(tag.Num, epoch.CauseIntra)
+		m.stallUntil(c, &rec.Persisted, StallIntra, func() { cont(nil) })
+		return
+	}
+	// Inter-thread conflict (§3.1): both loads and stores establish a
+	// persist-ordering constraint on the source epoch.
+	src := m.cores[tag.Core]
+	rec := src.table.Lookup(tag.Num)
+	if rec == nil {
+		cont(nil)
+		return
+	}
+	m.interConflicts++
+	rec.ConflictDemanded = true
+	if m.cfg.IDT {
+		m.idtResolve(c, src, rec, cont)
+		return
+	}
+	m.onlineInterResolve(c, src, rec, func() { cont(nil) })
+}
+
+// idtResolve handles an inter-thread conflict with the IDT optimization:
+// the request completes immediately and the dependence is handed to the
+// caller for attachment at completion. If the source epoch is still
+// ongoing, the deadlock-avoidance split (§3.3) closes it first so the
+// dependence can never become circular.
+func (m *Machine) idtResolve(c *coreCtx, src *coreCtx, rec *epoch.Record, cont func(dep *epoch.Record)) {
+	if rec.State == epoch.Persisted {
+		cont(nil)
+		return
+	}
+	if rec.State == epoch.Open {
+		if !m.cfg.EnableSplit {
+			// Without splitting, the only safe resolution is to wait
+			// for the ongoing epoch — the configuration that deadlocks
+			// on Figure 5(a)'s circular pattern.
+			m.onlineInterResolve(c, src, rec, func() { cont(nil) })
+			return
+		}
+		m.splitEpoch(src, func() { m.idtResolve(c, src, rec, cont) })
+		return
+	}
+	cont(rec)
+}
+
+// attachDep registers the deferred IDT dependence on c's current epoch at
+// request completion. When the dependence registers are full, it falls
+// back to the online flush (as the hardware would) and retries; retry runs
+// in the same event as the eventual completion, so attachment and the
+// access commit stay atomic.
+func (m *Machine) attachDep(c *coreCtx, rec *epoch.Record, cont func()) {
+	if rec == nil || rec.State == epoch.Persisted {
+		cont()
+		return
+	}
+	if c.table.AddDependence(c.table.Current(), rec.ID, &rec.Persisted) {
+		cont()
+		return
+	}
+	m.idtFallbacks++
+	src := m.cores[rec.ID.Core]
+	src.arb.DemandThrough(rec.ID.Num, epoch.CauseInter)
+	m.stallUntil(c, &rec.Persisted, StallInter, cont)
+}
+
+// onlineInterResolve is the LB behaviour: demand a flush of the source
+// epoch chain and stall the request until it persists. If splitting is
+// enabled and the source epoch is ongoing, the completed first half is
+// flushed (the "[w]ithout IDT we would have had to flush the first part"
+// case of §3.3).
+func (m *Machine) onlineInterResolve(c *coreCtx, src *coreCtx, rec *epoch.Record, cont func()) {
+	if rec.State == epoch.Persisted {
+		cont()
+		return
+	}
+	if rec.State == epoch.Open && m.cfg.EnableSplit {
+		m.splitEpoch(src, func() { m.onlineInterResolve(c, src, rec, cont) })
+		return
+	}
+	if m.cfg.RecordHistory {
+		// The synchronous wait enforces source -> dependent ordering;
+		// record it so the recovery checker can verify it held.
+		c.table.Current().OnlineEdges = append(c.table.Current().OnlineEdges, rec.ID)
+	}
+	src.arb.DemandThrough(rec.ID.Num, epoch.CauseInter)
+	m.stallUntil(c, &rec.Persisted, StallInter, cont)
+}
+
+// demandFlush demands a flush through rec and runs then when it persists,
+// splitting the epoch first when it is still ongoing (otherwise the demand
+// would wait on a barrier that may itself be blocked behind this request —
+// the deadlock Section 3.3 avoids). Used by the eviction-ordering paths.
+func (m *Machine) demandFlush(src *coreCtx, rec *epoch.Record, cause epoch.FlushCause, then func()) {
+	if rec.State == epoch.Persisted {
+		then()
+		return
+	}
+	if rec.State == epoch.Open && m.cfg.EnableSplit {
+		m.splitEpoch(src, func() { m.demandFlush(src, rec, cause, then) })
+		return
+	}
+	src.arb.DemandThrough(rec.ID.Num, cause)
+	rec.Persisted.Subscribe(then)
+}
+
+// splitEpoch closes src's ongoing epoch early (deadlock avoidance, §3.3).
+// When src's in-flight window is exhausted, the split waits behind a
+// pressure flush of src's oldest epoch.
+func (m *Machine) splitEpoch(src *coreCtx, cont func()) {
+	if !src.table.CanAdvance() {
+		oldest := src.table.Oldest()
+		src.arb.DemandThrough(oldest.ID.Num, epoch.CausePressure)
+		oldest.Persisted.Subscribe(func() { m.splitEpoch(src, cont) })
+		return
+	}
+	m.completeEpoch(src, epoch.SplitAdvance)
+	cont()
+}

@@ -1,0 +1,488 @@
+package machine
+
+import (
+	"fmt"
+
+	"persistbarriers/internal/cache"
+	"persistbarriers/internal/epoch"
+	"persistbarriers/internal/mem"
+	"persistbarriers/internal/noc"
+	"persistbarriers/internal/nvram"
+	"persistbarriers/internal/sim"
+	"persistbarriers/internal/trace"
+)
+
+// StallCause categorizes cycles a core spends blocked on persist ordering.
+type StallCause int
+
+const (
+	// StallIntra: waiting for an intra-thread conflict flush (§3.2).
+	StallIntra StallCause = iota
+	// StallInter: waiting for an inter-thread conflict flush (§3.1).
+	StallInter
+	// StallEviction: waiting for an eviction-ordering flush.
+	StallEviction
+	// StallPressure: waiting at a barrier for the in-flight window.
+	StallPressure
+	// StallBarrier: waiting at an EP barrier for the epoch to persist.
+	StallBarrier
+	// StallPersistQueue: WT/SP waiting on the NVRAM write path.
+	StallPersistQueue
+	// StallWriteBuffer: waiting for a posted-store slot or a barrier's
+	// write-buffer drain.
+	StallWriteBuffer
+	numStallCauses
+)
+
+// String implements fmt.Stringer.
+func (s StallCause) String() string {
+	switch s {
+	case StallIntra:
+		return "intra"
+	case StallInter:
+		return "inter"
+	case StallEviction:
+		return "eviction"
+	case StallPressure:
+		return "pressure"
+	case StallBarrier:
+		return "barrier"
+	case StallPersistQueue:
+		return "persist-queue"
+	case StallWriteBuffer:
+		return "write-buffer"
+	default:
+		return fmt.Sprintf("StallCause(%d)", int(s))
+	}
+}
+
+// PersistEvent records one line version becoming durable (RecordOpTimes).
+type PersistEvent struct {
+	Line    mem.Line
+	Version mem.Version
+	Cycle   sim.Cycle
+	Epoch   epoch.ID
+}
+
+// wtWrite is one queued naive-BSP persist.
+type wtWrite struct {
+	line mem.Line
+	ver  mem.Version
+}
+
+// dirEntry tracks coherence for one line: the core holding it modified
+// (owner) and the cores holding shared copies.
+type dirEntry struct {
+	owner   int
+	sharers uint64
+}
+
+type coreCtx struct {
+	id   int
+	tile noc.Tile
+	l1   *cache.Cache
+
+	table *epoch.Table
+	arb   *epoch.Arbiter
+
+	ops  []trace.Op
+	pc   int
+	txs  uint64
+	done bool
+
+	// Bulk-mode BSP state.
+	storesSinceBarrier int
+	ckptBase           mem.Addr
+
+	// WT model: the per-core in-order persist queue (rule S1), its
+	// occupancy, and waiters blocked on a full queue.
+	wtInFlight int
+	wtQueue    []wtWrite
+	wtWaiters  []func()
+
+	// Posted-store write buffer (Table 1: 32 entries).
+	wbOutstanding int
+	wbFull        []func()
+	wbDrain       func()
+
+	stalls   [numStallCauses]sim.Cycle
+	opTimes  []sim.Cycle
+	execDone sim.Cycle
+}
+
+type bankCtx struct {
+	id   int
+	tile noc.Tile
+	arr  *cache.Cache
+}
+
+// Machine is one assembled multicore simulation.
+type Machine struct {
+	cfg   Config
+	eng   *sim.Engine
+	mesh  *noc.Mesh
+	mcs   *nvram.Bank
+	cores []*coreCtx
+	banks []*bankCtx
+
+	dir      map[mem.Line]*dirEntry
+	mshr     map[mem.Line]*sim.Signal
+	busy     map[mem.Line]*sim.Signal
+	busyInfo map[mem.Line]string
+	latest   map[mem.Line]mem.Version
+	vs       mem.VersionSource
+	mcTiles  []noc.Tile
+
+	// Conflict event counters (events, as opposed to per-epoch causes).
+	intraConflicts    uint64
+	interConflicts    uint64
+	evictionConflicts uint64
+	idtFallbacks      uint64
+	persistedLines    uint64
+	logWrites         uint64
+
+	persistLog []PersistEvent
+
+	debugLog []string
+
+	// Global-arbiter ablation state: one flush in flight machine-wide.
+	globalFlushBusy    bool
+	globalFlushWaiters []func()
+
+	runningCores int
+	execCycles   sim.Cycle
+	drainCycles  sim.Cycle
+	finished     bool
+	deadlocked   bool
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	mesh, err := noc.New(cfg.Mesh)
+	if err != nil {
+		return nil, err
+	}
+	mcs, err := nvram.NewBank(cfg.MemControllers, eng, cfg.NVRAM)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:      cfg,
+		eng:      eng,
+		mesh:     mesh,
+		mcs:      mcs,
+		dir:      make(map[mem.Line]*dirEntry),
+		mshr:     make(map[mem.Line]*sim.Signal),
+		busy:     make(map[mem.Line]*sim.Signal),
+		busyInfo: make(map[mem.Line]string),
+		latest:   make(map[mem.Line]mem.Version),
+	}
+
+	// Memory controllers sit at the mesh corners (Figure 2).
+	corners := []int{
+		0,
+		cfg.Mesh.Cols - 1,
+		(cfg.Mesh.Rows - 1) * cfg.Mesh.Cols,
+		cfg.Mesh.Rows*cfg.Mesh.Cols - 1,
+	}
+	for i := 0; i < cfg.MemControllers; i++ {
+		m.mcTiles = append(m.mcTiles, mesh.TileOf(corners[i%len(corners)]))
+	}
+
+	epochCfg := cfg.Epoch
+	epochCfg.RecordHistory = cfg.RecordHistory
+	for i := 0; i < cfg.Cores; i++ {
+		c := &coreCtx{
+			id:   i,
+			tile: mesh.TileOf(i % mesh.Tiles()),
+			l1: cache.MustNew(cache.Config{
+				Name:              fmt.Sprintf("L1-%d", i),
+				Sets:              cfg.L1Sets,
+				Ways:              cfg.L1Ways,
+				PanicOnDirtyEvict: true,
+			}),
+			// Checkpoint regions live in a reserved high address range,
+			// one rotating 8-epoch window per core.
+			ckptBase: mem.Addr(1)<<40 + mem.Addr(i)*8*64*mem.Addr(maxInt(cfg.CheckpointLines, 1)),
+		}
+		if m.usesEpochs() {
+			tbl, err := epoch.NewTable(i, epochCfg)
+			if err != nil {
+				return nil, err
+			}
+			c.table = tbl
+			arb, err := epoch.NewArbiter(eng, tbl, &flushDriver{m: m, c: c})
+			if err != nil {
+				return nil, err
+			}
+			c.arb = arb
+		}
+		m.cores = append(m.cores, c)
+	}
+	if m.usesEpochs() {
+		// Cross-core demand forwarding: a demanded flush pulls its IDT
+		// source epochs along (§4.2 inform/dependence registers).
+		for _, c := range m.cores {
+			c.arb.SetDemandSource(func(src epoch.ID, cause epoch.FlushCause) {
+				m.cores[src.Core].arb.DemandThrough(src.Num, cause)
+			})
+		}
+	}
+	shift := cfg.llcIndexShift()
+	for i := 0; i < cfg.LLCBanks; i++ {
+		m.banks = append(m.banks, &bankCtx{
+			id:   i,
+			tile: mesh.TileOf(i % mesh.Tiles()),
+			arr: cache.MustNew(cache.Config{
+				Name:       fmt.Sprintf("LLC-%d", i),
+				Sets:       cfg.LLCSets,
+				Ways:       cfg.LLCWays,
+				IndexShift: shift,
+			}),
+		})
+	}
+	return m, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// usesEpochs reports whether the configured model tracks epochs.
+func (m *Machine) usesEpochs() bool { return m.cfg.Model == EP || m.cfg.Model == LB }
+
+// Engine exposes the simulation engine (for crash-injection harnesses).
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+func (m *Machine) bank(line mem.Line) *bankCtx {
+	return m.banks[int(uint64(line)%uint64(len(m.banks)))]
+}
+
+func (m *Machine) dirEntryFor(line mem.Line) *dirEntry {
+	d := m.dir[line]
+	if d == nil {
+		d = &dirEntry{owner: -1}
+		m.dir[line] = d
+	}
+	return d
+}
+
+// Load installs a program onto the cores. Traces beyond Config.Cores are
+// rejected; missing traces leave cores idle.
+func (m *Machine) Load(p *trace.Program) error {
+	if p.Cores() > m.cfg.Cores {
+		return fmt.Errorf("machine: program has %d traces for %d cores", p.Cores(), m.cfg.Cores)
+	}
+	for i, ops := range p.Traces {
+		m.cores[i].ops = ops
+	}
+	return nil
+}
+
+// Run executes the loaded program to completion (including the final
+// persist drain) and returns the result. A machine runs one program once.
+func (m *Machine) Run() (*Result, error) {
+	if err := m.start(); err != nil {
+		return nil, err
+	}
+	m.eng.Run()
+	if !m.finished {
+		m.deadlocked = true
+	}
+	return m.result(), nil
+}
+
+// RunUntil executes the program until the given cycle (a crash instant)
+// or completion, whichever is first, and returns the result. The durable
+// state visible in the result is exactly what NVRAM held at that instant.
+func (m *Machine) RunUntil(crash sim.Cycle) (*Result, error) {
+	if err := m.start(); err != nil {
+		return nil, err
+	}
+	m.eng.RunUntil(crash)
+	return m.result(), nil
+}
+
+func (m *Machine) start() error {
+	if m.runningCores != 0 || m.finished {
+		return fmt.Errorf("machine: already run")
+	}
+	any := false
+	for _, c := range m.cores {
+		if len(c.ops) > 0 {
+			any = true
+			m.runningCores++
+		}
+	}
+	if !any {
+		return fmt.Errorf("machine: no program loaded")
+	}
+	for _, c := range m.cores {
+		if len(c.ops) > 0 {
+			c := c
+			m.eng.At(0, func() { m.stepCore(c) })
+		} else {
+			c.done = true
+		}
+	}
+	return nil
+}
+
+// coreFinished runs when a core retires its last op.
+func (m *Machine) coreFinished(c *coreCtx) {
+	if c.done {
+		return
+	}
+	c.done = true
+	c.execDone = m.eng.Now()
+	m.runningCores--
+	if m.runningCores > 0 {
+		return
+	}
+	m.execCycles = m.eng.Now()
+	m.drainAll(func() {
+		m.drainCycles = m.eng.Now()
+		m.finished = true
+	})
+}
+
+// drainAll flushes every core's outstanding persistent state at end of run.
+func (m *Machine) drainAll(done func()) {
+	remaining := len(m.cores)
+	arrive := func() {
+		remaining--
+		if remaining == 0 {
+			done()
+		}
+	}
+	for _, c := range m.cores {
+		m.drainCore(c, arrive)
+	}
+}
+
+func (m *Machine) drainCore(c *coreCtx, done func()) {
+	switch m.cfg.Model {
+	case NP:
+		done()
+	case SP:
+		done() // every store already persisted synchronously
+	case WT:
+		m.wtDrain(c, done)
+	default:
+		m.epochDrain(c, done)
+	}
+}
+
+// wtDrain waits for the WT persist queue to empty.
+func (m *Machine) wtDrain(c *coreCtx, done func()) {
+	if c.wtInFlight == 0 {
+		done()
+		return
+	}
+	c.wtWaiters = append(c.wtWaiters, func() { m.wtDrain(c, done) })
+}
+
+// epochDrain closes the current epoch and flushes everything (EP/LB).
+func (m *Machine) epochDrain(c *coreCtx, done func()) {
+	tbl := c.table
+	cur := tbl.Current()
+	if len(cur.Pending) == 0 && tbl.InFlight() == 1 {
+		done()
+		return
+	}
+	if !tbl.CanAdvance() {
+		oldest := tbl.Oldest()
+		c.arb.DemandThrough(oldest.ID.Num, epoch.CausePressure)
+		oldest.Persisted.Subscribe(func() { m.epochDrain(c, done) })
+		return
+	}
+	closed := tbl.Current()
+	tbl.Advance(m.eng.Now(), epoch.DrainAdvance)
+	c.arb.DemandThrough(closed.ID.Num, epoch.CauseDrain)
+	closed.Persisted.Subscribe(func() {
+		// More epochs may remain (the freshly opened one is empty).
+		if tbl.InFlight() == 1 {
+			done()
+			return
+		}
+		m.epochDrain(c, done)
+	})
+	c.arb.Kick()
+}
+
+// lineDurable records that a line version of an epoch reached NVRAM.
+func (m *Machine) lineDurable(rec *epoch.Record, line mem.Line, ver mem.Version) {
+	recID := epoch.None
+	if rec != nil {
+		recID = rec.ID
+	}
+	m.dbg(line, "lineDurable rec=%v ver=%d", recID, ver)
+	m.persistedLines++
+	if m.cfg.RecordOpTimes {
+		id := epoch.None
+		if rec != nil {
+			id = rec.ID
+		}
+		m.persistLog = append(m.persistLog, PersistEvent{Line: line, Version: ver, Cycle: m.eng.Now(), Epoch: id})
+	}
+	if rec == nil {
+		return
+	}
+	rec.AcksInFlight--
+	// A same-epoch store may have re-dirtied the line while this (older)
+	// version's ack was in flight; the epoch still owes the newer version
+	// to NVRAM, so keep the line pending. If a cached copy holds exactly
+	// the acked version it is now durable: clean it so no stale dirty tag
+	// outlives the epoch.
+	newer := false
+	if ent, ok := m.cores[rec.ID.Core].l1.Peek(line); ok && ent.Dirty && ent.Tag == rec.ID {
+		if ent.Version > ver {
+			newer = true
+		} else if ent.Version == ver {
+			m.cores[rec.ID.Core].l1.CleanLine(line)
+		}
+	}
+	if ent, ok := m.bank(line).arr.Peek(line); ok && ent.Dirty && ent.Tag == rec.ID {
+		if ent.Version > ver {
+			newer = true
+		} else if ent.Version == ver {
+			m.bank(line).arr.CleanLine(line)
+		}
+	}
+	if !newer {
+		delete(rec.Pending, line)
+	}
+	m.cores[rec.ID.Core].arb.Kick()
+}
+
+// dbg appends a trace entry when line tracing is enabled for this line.
+func (m *Machine) dbg(line mem.Line, format string, args ...any) {
+	if m.cfg.DebugLine == 0 || mem.Line(m.cfg.DebugLine) != line {
+		return
+	}
+	m.debugLog = append(m.debugLog,
+		fmt.Sprintf("[%d] %v: %s", m.eng.Now(), line, fmt.Sprintf(format, args...)))
+}
+
+// DebugTrace returns the accumulated line trace (diagnostics).
+func (m *Machine) DebugTrace() []string { return m.debugLog }
+
+// stallUntil subscribes cont to sig, attributing the waited cycles to the
+// given cause on core c.
+func (m *Machine) stallUntil(c *coreCtx, sig *sim.Signal, cause StallCause, cont func()) {
+	t0 := m.eng.Now()
+	sig.Subscribe(func() {
+		c.stalls[cause] += m.eng.Now() - t0
+		cont()
+	})
+}

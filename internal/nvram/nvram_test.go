@@ -1,0 +1,196 @@
+package nvram
+
+import (
+	"testing"
+
+	"persistbarriers/internal/mem"
+	"persistbarriers/internal/sim"
+)
+
+func newCtrl(t *testing.T, eng *sim.Engine) *Controller {
+	t.Helper()
+	c, err := NewController(0, eng, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := NewController(0, nil, DefaultConfig()); err == nil {
+		t.Error("nil engine accepted")
+	}
+	bad := DefaultConfig()
+	bad.WriteLatency = 0
+	if _, err := NewController(0, eng, bad); err == nil {
+		t.Error("zero write latency accepted")
+	}
+	bad = DefaultConfig()
+	bad.ReadService = 0
+	if _, err := NewController(0, eng, bad); err == nil {
+		t.Error("zero read service accepted")
+	}
+}
+
+func TestReadLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCtrl(t, eng)
+	var done sim.Cycle
+	c.Read(1, func() { done = eng.Now() })
+	eng.Run()
+	if done != DefaultConfig().ReadLatency {
+		t.Fatalf("read completed at %d, want %d", done, DefaultConfig().ReadLatency)
+	}
+}
+
+func TestWriteDurableExactlyAtAck(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCtrl(t, eng)
+	c.Write(7, 42, nil)
+	// One cycle before the ack the image must be empty.
+	eng.RunUntil(DefaultConfig().WriteLatency - 1)
+	if v := c.Image()[7]; v != mem.NoVersion {
+		t.Fatalf("write visible before ack: version %d", v)
+	}
+	eng.Run()
+	if v := c.Image()[7]; v != 42 {
+		t.Fatalf("after ack, image[7] = %d, want 42", v)
+	}
+}
+
+func TestWritesSerializeAtServiceInterval(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCtrl(t, eng)
+	cfg := DefaultConfig()
+	var acks []sim.Cycle
+	for i := 0; i < 3; i++ {
+		c.Write(mem.Line(i), mem.Version(i+1), func() { acks = append(acks, eng.Now()) })
+	}
+	eng.Run()
+	if len(acks) != 3 {
+		t.Fatalf("got %d acks, want 3", len(acks))
+	}
+	for i, want := range []sim.Cycle{
+		cfg.WriteLatency,
+		cfg.WriteService + cfg.WriteLatency,
+		2*cfg.WriteService + cfg.WriteLatency,
+	} {
+		if acks[i] != want {
+			t.Errorf("ack %d at %d, want %d", i, acks[i], want)
+		}
+	}
+	s := c.Stats()
+	if s.Writes != 3 {
+		t.Errorf("Writes = %d, want 3", s.Writes)
+	}
+	if s.StallCycles == 0 {
+		t.Error("expected queuing stalls for back-to-back writes")
+	}
+}
+
+func TestLaterWriteWins(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCtrl(t, eng)
+	c.Write(3, 1, nil)
+	c.Write(3, 2, nil)
+	eng.Run()
+	if v := c.Image()[3]; v != 2 {
+		t.Fatalf("image[3] = %d, want 2 (later write wins)", v)
+	}
+}
+
+func TestWriteLogAppendsDurably(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCtrl(t, eng)
+	e1 := LogEntry{Line: 5, Old: 10, EpochCore: 1, EpochNum: 2}
+	e2 := LogEntry{Line: 6, Old: 11, EpochCore: 1, EpochNum: 2}
+	c.WriteLog(e1, nil)
+	c.WriteLog(e2, nil)
+	if len(c.Log()) != 0 {
+		t.Fatal("log visible before writes complete")
+	}
+	eng.Run()
+	log := c.Log()
+	if len(log) != 2 || log[0] != e1 || log[1] != e2 {
+		t.Fatalf("log = %+v, want [%+v %+v]", log, e1, e2)
+	}
+	if c.Stats().LogWrites != 2 {
+		t.Errorf("LogWrites = %d, want 2", c.Stats().LogWrites)
+	}
+}
+
+func TestImageIsACopy(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCtrl(t, eng)
+	c.Write(1, 5, nil)
+	eng.Run()
+	img := c.Image()
+	img[1] = 99
+	if c.Image()[1] != 5 {
+		t.Fatal("mutating the returned image affected the controller")
+	}
+}
+
+func TestBankInterleavesLines(t *testing.T) {
+	eng := sim.NewEngine()
+	b, err := NewBank(4, eng, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for l := mem.Line(0); l < 8; l++ {
+		id := b.ControllerFor(l).ID()
+		seen[id] = true
+		if id != int(l%4) {
+			t.Errorf("line %d routed to MC %d, want %d", l, id, l%4)
+		}
+	}
+	if len(seen) != 4 {
+		t.Errorf("only %d controllers used, want 4", len(seen))
+	}
+}
+
+func TestBankRejectsZeroControllers(t *testing.T) {
+	if _, err := NewBank(0, sim.NewEngine(), DefaultConfig()); err == nil {
+		t.Error("zero-controller bank accepted")
+	}
+}
+
+func TestBankImageMergesControllers(t *testing.T) {
+	eng := sim.NewEngine()
+	b, err := NewBank(2, eng, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.ControllerFor(0).Write(0, 1, nil) // MC 0
+	b.ControllerFor(1).Write(1, 2, nil) // MC 1
+	eng.Run()
+	img := b.Image()
+	if img[0] != 1 || img[1] != 2 {
+		t.Fatalf("merged image = %v", img)
+	}
+	s := b.Stats()
+	if s.Writes != 2 {
+		t.Errorf("bank Writes = %d, want 2", s.Writes)
+	}
+}
+
+func TestParallelControllersDoNotQueueOnEachOther(t *testing.T) {
+	eng := sim.NewEngine()
+	b, err := NewBank(4, eng, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acks []sim.Cycle
+	// Four writes to four different MCs: all should ack at WriteLatency.
+	for l := mem.Line(0); l < 4; l++ {
+		b.ControllerFor(l).Write(l, 1, func() { acks = append(acks, eng.Now()) })
+	}
+	eng.Run()
+	for i, a := range acks {
+		if a != DefaultConfig().WriteLatency {
+			t.Errorf("ack %d at %d, want %d (no cross-MC queuing)", i, a, DefaultConfig().WriteLatency)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All hardware components in this repository (cores, caches, LLC banks,
+// memory controllers, epoch arbiters) are modelled as state machines that
+// schedule callbacks on a shared Engine. The engine maintains a single
+// logical clock measured in Cycle units and fires events in (time, FIFO)
+// order, which makes every simulation run bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Cycle is a point (or distance) on the simulated clock.
+type Cycle uint64
+
+// MaxCycle is the largest representable cycle; used as "never".
+const MaxCycle = Cycle(math.MaxUint64)
+
+// Event is a scheduled callback.
+type event struct {
+	when Cycle
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event scheduler. The zero value is
+// ready to use.
+type Engine struct {
+	now     Cycle
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at cycle 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute cycle when. Scheduling in the past
+// panics: it indicates a protocol bug, not a recoverable condition.
+func (e *Engine) At(when Cycle, fn func()) {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at cycle %d before now %d", when, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{when: when, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delta cycles from now.
+func (e *Engine) After(delta Cycle, fn func()) { e.At(e.now+delta, fn) }
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the cycle at which the simulation quiesced.
+func (e *Engine) Run() Cycle {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= limit. The clock is advanced
+// to limit if the queue drains early. It returns the current cycle.
+func (e *Engine) RunUntil(limit Cycle) Cycle {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped && e.queue[0].when <= limit {
+		e.step()
+	}
+	if !e.stopped && e.now < limit {
+		e.now = limit
+	}
+	return e.now
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.queue).(*event)
+	if ev.when > e.now {
+		e.now = ev.when
+	}
+	e.fired++
+	ev.fn()
+}

@@ -1,0 +1,75 @@
+package sim
+
+// Signal is a one-shot broadcast latch. Components that must wait for a
+// condition (an epoch persisting, a flush completing) subscribe a callback;
+// when the owner fires the signal every subscriber runs, in subscription
+// order, at the firing cycle. Subscribing after the fire runs the callback
+// immediately. The zero value is an unfired signal.
+type Signal struct {
+	fired bool
+	subs  []func()
+}
+
+// Fired reports whether the signal has been raised.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Subscribe registers fn to run when the signal fires. If the signal has
+// already fired, fn runs synchronously.
+func (s *Signal) Subscribe(fn func()) {
+	if s.fired {
+		fn()
+		return
+	}
+	s.subs = append(s.subs, fn)
+}
+
+// Fire raises the signal, running all subscribers in order. Firing twice is
+// a no-op; the protocol layers treat signals as monotone facts.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	subs := s.subs
+	s.subs = nil
+	for _, fn := range subs {
+		fn()
+	}
+}
+
+// Barrier counts down from n and fires a callback when it reaches zero.
+// It models ack-collection points such as the arbiter waiting for BankAck
+// messages from every LLC bank.
+type Barrier struct {
+	remaining int
+	done      func()
+}
+
+// NewBarrier returns a Barrier expecting n arrivals. If n <= 0 the callback
+// fires immediately at construction.
+func NewBarrier(n int, done func()) *Barrier {
+	b := &Barrier{remaining: n, done: done}
+	if n <= 0 {
+		b.fire()
+	}
+	return b
+}
+
+// Arrive records one arrival; the callback fires on the last one.
+func (b *Barrier) Arrive() {
+	if b.remaining <= 0 {
+		return
+	}
+	b.remaining--
+	if b.remaining == 0 {
+		b.fire()
+	}
+}
+
+func (b *Barrier) fire() {
+	if b.done != nil {
+		d := b.done
+		b.done = nil
+		d()
+	}
+}

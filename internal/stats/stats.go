@@ -1,0 +1,108 @@
+// Package stats provides the small numeric and table-formatting helpers
+// the experiment harness uses to reproduce the paper's figures: geometric
+// and arithmetic means (the paper reports gmean for speedups and amean for
+// conflict percentages) and fixed-width ASCII tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Gmean returns the geometric mean of vs; zero or negative inputs are
+// rejected with NaN (a geometric mean over them is undefined).
+func Gmean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range vs {
+		if v <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}
+
+// Amean returns the arithmetic mean of vs (NaN when empty).
+func Amean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// Table is a fixed-width ASCII table renderer.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable starts a table with a title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddF appends a row whose first cell is a label and whose remaining
+// cells are floats formatted with the given verb (e.g. "%.2f").
+func (t *Table) AddF(label, verb string, vals ...float64) {
+	cells := make([]string, 0, len(vals)+1)
+	cells = append(cells, label)
+	for _, v := range vals {
+		cells = append(cells, fmt.Sprintf(verb, v))
+	}
+	t.AddRow(cells...)
+}
+
+// Render formats the table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.title != "" {
+		sb.WriteString(t.title)
+		sb.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGmean(t *testing.T) {
+	if g := Gmean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("Gmean(1,4) = %v, want 2", g)
+	}
+	if g := Gmean([]float64{3}); math.Abs(g-3) > 1e-12 {
+		t.Errorf("Gmean(3) = %v", g)
+	}
+	if !math.IsNaN(Gmean(nil)) {
+		t.Error("Gmean(nil) not NaN")
+	}
+	if !math.IsNaN(Gmean([]float64{1, 0})) {
+		t.Error("Gmean with zero not NaN")
+	}
+	if !math.IsNaN(Gmean([]float64{-1})) {
+		t.Error("Gmean with negative not NaN")
+	}
+}
+
+func TestAmean(t *testing.T) {
+	if a := Amean([]float64{1, 2, 3}); math.Abs(a-2) > 1e-12 {
+		t.Errorf("Amean = %v, want 2", a)
+	}
+	if !math.IsNaN(Amean(nil)) {
+		t.Error("Amean(nil) not NaN")
+	}
+}
+
+func TestGmeanLeAmeanProperty(t *testing.T) {
+	// AM-GM inequality on positive inputs.
+	f := func(raw []uint16) bool {
+		var vs []float64
+		for _, r := range raw {
+			vs = append(vs, float64(r)+1)
+		}
+		if len(vs) == 0 {
+			return true
+		}
+		return Gmean(vs) <= Amean(vs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGmeanScaleInvariance(t *testing.T) {
+	// Gmean(k*v) = k * Gmean(v).
+	vs := []float64{1.2, 3.4, 0.9, 2.2}
+	scaled := make([]float64, len(vs))
+	for i, v := range vs {
+		scaled[i] = v * 5
+	}
+	if math.Abs(Gmean(scaled)-5*Gmean(vs)) > 1e-9 {
+		t.Error("gmean not scale-invariant")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Figure X", "bench", "LB", "LB++")
+	tbl.AddRow("hash", "1.00", "1.22")
+	tbl.AddF("gmean", "%.2f", 1.0, 1.22)
+	out := tbl.Render()
+	if !strings.Contains(out, "Figure X") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "hash") || !strings.Contains(out, "1.22") {
+		t.Errorf("cells missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and separator equal width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("separator misaligned:\n%s", out)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tbl := NewTable("", "a", "b", "c")
+	tbl.AddRow("only")
+	out := tbl.Render()
+	if !strings.Contains(out, "only") {
+		t.Error("short row dropped")
+	}
+}

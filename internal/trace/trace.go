@@ -1,0 +1,181 @@
+// Package trace defines the per-core instruction streams the simulated
+// machine executes: loads, stores, compute delays, persist barriers, and
+// transaction markers, plus builders and a deterministic RNG for workload
+// generators.
+package trace
+
+import (
+	"fmt"
+
+	"persistbarriers/internal/mem"
+	"persistbarriers/internal/sim"
+)
+
+// OpKind enumerates trace operations.
+type OpKind uint8
+
+const (
+	// Compute burns cycles without touching memory.
+	Compute OpKind = iota
+	// Load reads one cache line.
+	Load
+	// Store writes one cache line.
+	Store
+	// Barrier is a programmer-inserted persist barrier (BEP). Machines
+	// running bulk-mode BSP or NP ignore it per their model.
+	Barrier
+	// TxEnd marks the completion of one benchmark transaction; the
+	// harness derives transaction throughput from these.
+	TxEnd
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Barrier:
+		return "barrier"
+	case TxEnd:
+		return "txend"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one trace operation. Addr is used by Load/Store; Cycles by Compute.
+type Op struct {
+	Kind   OpKind
+	Addr   mem.Addr
+	Cycles sim.Cycle
+}
+
+// Program is one trace per core.
+type Program struct {
+	Traces [][]Op
+}
+
+// Cores reports the number of per-core traces.
+func (p *Program) Cores() int { return len(p.Traces) }
+
+// Ops reports the total operation count across all traces.
+func (p *Program) Ops() int {
+	n := 0
+	for _, t := range p.Traces {
+		n += len(t)
+	}
+	return n
+}
+
+// Stores reports the total store count across all traces.
+func (p *Program) Stores() int {
+	n := 0
+	for _, t := range p.Traces {
+		for _, op := range t {
+			if op.Kind == Store {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Builder accumulates one core's trace.
+type Builder struct {
+	ops []Op
+}
+
+// Load appends a line read of addr.
+func (b *Builder) Load(addr mem.Addr) *Builder {
+	b.ops = append(b.ops, Op{Kind: Load, Addr: addr})
+	return b
+}
+
+// Store appends a line write of addr.
+func (b *Builder) Store(addr mem.Addr) *Builder {
+	b.ops = append(b.ops, Op{Kind: Store, Addr: addr})
+	return b
+}
+
+// StoreRange appends a store to every line of the byte range [addr,
+// addr+size) — how a 512-byte micro-benchmark entry write appears to the
+// memory system.
+func (b *Builder) StoreRange(addr mem.Addr, size uint64) *Builder {
+	for _, l := range mem.LineRange(addr, size) {
+		b.Store(l.Addr())
+	}
+	return b
+}
+
+// LoadRange appends a load of every line of the byte range.
+func (b *Builder) LoadRange(addr mem.Addr, size uint64) *Builder {
+	for _, l := range mem.LineRange(addr, size) {
+		b.Load(l.Addr())
+	}
+	return b
+}
+
+// Compute appends a pure-compute delay.
+func (b *Builder) Compute(cycles sim.Cycle) *Builder {
+	if cycles > 0 {
+		b.ops = append(b.ops, Op{Kind: Compute, Cycles: cycles})
+	}
+	return b
+}
+
+// Barrier appends a persist barrier.
+func (b *Builder) Barrier() *Builder {
+	b.ops = append(b.ops, Op{Kind: Barrier})
+	return b
+}
+
+// TxEnd appends a transaction-completion marker.
+func (b *Builder) TxEnd() *Builder {
+	b.ops = append(b.ops, Op{Kind: TxEnd})
+	return b
+}
+
+// Ops returns the accumulated trace.
+func (b *Builder) Ops() []Op { return b.ops }
+
+// Len reports the number of accumulated ops.
+func (b *Builder) Len() int { return len(b.ops) }
+
+// Rand is a small deterministic PRNG (xorshift64*) so workload generation
+// never depends on global math/rand state.
+type Rand struct{ state uint64 }
+
+// NewRand seeds a generator; a zero seed is remapped to a fixed constant.
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next raw value.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a value in [0, n). It panics when n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("trace: Intn(%d)", n))
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"persistbarriers/internal/mem"
+	"persistbarriers/internal/trace"
+)
+
+// hashBuckets is the per-thread bucket count of the persistent hash table.
+const hashBuckets = 64
+
+// Hash generates the "hash" micro-benchmark: insert/delete/search of
+// 512-byte entries in chained hash tables, one table per thread (the
+// NV-heaps benchmark organization — intra-thread conflicts dominate,
+// §7.1).
+//
+// Persistency discipline per insert (the Figure 10 pattern):
+//
+//	write the new entry                 — epoch A
+//	persist barrier
+//	update the bucket head pointer      — epoch B
+//	persist barrier
+//
+// A delete updates the predecessor's next pointer under its own epoch;
+// searches only read.
+func Hash(spec Spec) (*trace.Program, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	p := perThread(spec, func(thread int, r *trace.Rand, b *trace.Builder) func() {
+		alloc := newAllocator(0x1000_0000 + mem.Addr(thread)*0x0100_0000 + mem.Addr(thread)*17*512)
+		heads := make([]mem.Addr, hashBuckets)
+		for i := range heads {
+			heads[i] = alloc.line()
+		}
+		chains := make([][]mem.Addr, hashBuckets)
+		population := 0
+		return func() {
+			bucket := r.Intn(hashBuckets)
+			b.Compute(thinkTime(r))
+			switch pickOp(r, population) {
+			case opInsert:
+				entry := alloc.entry()
+				b.Load(heads[bucket])          // read current head
+				b.StoreRange(entry, EntrySize) // write the new entry
+				b.Barrier()
+				b.Store(heads[bucket]) // link it in
+				b.Barrier()
+				chains[bucket] = append(chains[bucket], entry)
+				population++
+			case opDelete:
+				v := bucket
+				for len(chains[v]) == 0 {
+					v = (v + 1) % hashBuckets
+				}
+				idx := r.Intn(len(chains[v]))
+				b.Load(heads[v])
+				for i := 0; i <= idx; i++ {
+					b.Load(chains[v][i])
+				}
+				if idx == 0 {
+					b.Store(heads[v])
+				} else {
+					b.Store(chains[v][idx-1])
+				}
+				b.Barrier()
+				chains[v] = append(chains[v][:idx], chains[v][idx+1:]...)
+				population--
+			case opSearch:
+				v := bucket
+				for len(chains[v]) == 0 {
+					v = (v + 1) % hashBuckets
+				}
+				b.Load(heads[v])
+				n := r.Intn(len(chains[v])) + 1
+				for i := 0; i < n; i++ {
+					b.Load(chains[v][i])
+				}
+			}
+			b.TxEnd()
+		}
+	})
+	return p, nil
+}

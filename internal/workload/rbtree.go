@@ -1,0 +1,445 @@
+package workload
+
+import (
+	"persistbarriers/internal/mem"
+	"persistbarriers/internal/trace"
+)
+
+// rbNode is one 512-byte persistent tree node. The first line of the entry
+// holds key, color, and the three links; touching any of them is modelled
+// as an access to the node's header line, while node payload writes cover
+// the full entry.
+type rbNode struct {
+	addr                mem.Addr
+	key                 uint64
+	left, right, parent *rbNode
+	red                 bool
+}
+
+// rbTree is a classic red-black tree that emits the memory trace of every
+// structural read and write it performs.
+type rbTree struct {
+	root  *rbNode
+	alloc *allocator
+	b     *trace.Builder // current thread's builder
+	size  int
+}
+
+func (t *rbTree) load(n *rbNode) {
+	if n != nil {
+		t.b.Load(n.addr)
+	}
+}
+
+func (t *rbTree) store(n *rbNode) {
+	if n != nil {
+		t.b.Store(n.addr)
+	}
+}
+
+// rotateLeft/rotateRight rewrite three nodes' links.
+func (t *rbTree) rotateLeft(x *rbNode) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+		t.store(y.left)
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+		t.store(x.parent)
+	default:
+		x.parent.right = y
+		t.store(x.parent)
+	}
+	y.left = x
+	x.parent = y
+	t.store(x)
+	t.store(y)
+}
+
+func (t *rbTree) rotateRight(x *rbNode) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+		t.store(y.right)
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+		t.store(x.parent)
+	default:
+		x.parent.left = y
+		t.store(x.parent)
+	}
+	y.right = x
+	x.parent = y
+	t.store(x)
+	t.store(y)
+}
+
+// insert adds key and returns the new node, emitting the persistency
+// discipline: the new node's payload is written and persisted before the
+// link that publishes it, and the rebalancing writes form a final epoch.
+func (t *rbTree) insert(key uint64) *rbNode {
+	// Descend.
+	var parent *rbNode
+	cur := t.root
+	for cur != nil {
+		t.load(cur)
+		parent = cur
+		if key < cur.key {
+			cur = cur.left
+		} else {
+			cur = cur.right
+		}
+	}
+	n := &rbNode{addr: t.alloc.entry(), key: key, red: true, parent: parent}
+	// Epoch A: write the new node's payload.
+	t.b.StoreRange(n.addr, EntrySize)
+	t.b.Barrier()
+	// Epoch B: publish the link.
+	if parent == nil {
+		t.root = n
+	} else if key < parent.key {
+		parent.left = n
+		t.store(parent)
+	} else {
+		parent.right = n
+		t.store(parent)
+	}
+	t.b.Barrier()
+	// Epoch C: rebalance.
+	t.insertFixup(n)
+	t.b.Barrier()
+	t.size++
+	return n
+}
+
+func isRed(n *rbNode) bool { return n != nil && n.red }
+
+func (t *rbTree) insertFixup(z *rbNode) {
+	for isRed(z.parent) {
+		g := z.parent.parent
+		if g == nil {
+			break
+		}
+		t.load(g)
+		if z.parent == g.left {
+			u := g.right
+			if isRed(u) {
+				z.parent.red, u.red, g.red = false, false, true
+				t.store(z.parent)
+				t.store(u)
+				t.store(g)
+				z = g
+				continue
+			}
+			if z == z.parent.right {
+				z = z.parent
+				t.rotateLeft(z)
+			}
+			z.parent.red, g.red = false, true
+			t.store(z.parent)
+			t.store(g)
+			t.rotateRight(g)
+		} else {
+			u := g.left
+			if isRed(u) {
+				z.parent.red, u.red, g.red = false, false, true
+				t.store(z.parent)
+				t.store(u)
+				t.store(g)
+				z = g
+				continue
+			}
+			if z == z.parent.left {
+				z = z.parent
+				t.rotateRight(z)
+			}
+			z.parent.red, g.red = false, true
+			t.store(z.parent)
+			t.store(g)
+			t.rotateLeft(g)
+		}
+	}
+	if t.root != nil && t.root.red {
+		t.root.red = false
+		t.store(t.root)
+	}
+}
+
+// search walks to a key (or its insertion point), reading each node.
+func (t *rbTree) search(key uint64) *rbNode {
+	cur := t.root
+	for cur != nil {
+		t.load(cur)
+		if key == cur.key {
+			return cur
+		}
+		if key < cur.key {
+			cur = cur.left
+		} else {
+			cur = cur.right
+		}
+	}
+	return nil
+}
+
+func (t *rbTree) minimum(n *rbNode) *rbNode {
+	for n.left != nil {
+		t.load(n.left)
+		n = n.left
+	}
+	return n
+}
+
+// transplant replaces subtree u with v.
+func (t *rbTree) transplant(u, v *rbNode) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+		t.store(u.parent)
+	default:
+		u.parent.right = v
+		t.store(u.parent)
+	}
+	if v != nil {
+		v.parent = u.parent
+		t.store(v)
+	}
+}
+
+// delete removes node z (CLRS delete with fixup), emitting stores for
+// every structural mutation and a barrier closing the unlink epoch.
+func (t *rbTree) delete(z *rbNode) {
+	y := z
+	yWasRed := y.red
+	var x, xParent *rbNode
+	switch {
+	case z.left == nil:
+		x, xParent = z.right, z.parent
+		t.transplant(z, z.right)
+	case z.right == nil:
+		x, xParent = z.left, z.parent
+		t.transplant(z, z.left)
+	default:
+		y = t.minimum(z.right)
+		yWasRed = y.red
+		x = y.right
+		if y.parent == z {
+			xParent = y
+		} else {
+			xParent = y.parent
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+			t.store(y.right)
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.red = z.red
+		t.store(y)
+		t.store(y.left)
+	}
+	t.b.Barrier()
+	if !yWasRed {
+		t.deleteFixup(x, xParent)
+		t.b.Barrier()
+	}
+	t.size--
+}
+
+func (t *rbTree) deleteFixup(x, parent *rbNode) {
+	for x != t.root && !isRed(x) && parent != nil {
+		if x == parent.left {
+			w := parent.right
+			if w == nil {
+				break
+			}
+			t.load(w)
+			if w.red {
+				w.red, parent.red = false, true
+				t.store(w)
+				t.store(parent)
+				t.rotateLeft(parent)
+				w = parent.right
+				if w == nil {
+					break
+				}
+			}
+			if !isRed(w.left) && !isRed(w.right) {
+				w.red = true
+				t.store(w)
+				x, parent = parent, parent.parent
+				continue
+			}
+			if !isRed(w.right) {
+				if w.left != nil {
+					w.left.red = false
+					t.store(w.left)
+				}
+				w.red = true
+				t.store(w)
+				t.rotateRight(w)
+				w = parent.right
+			}
+			w.red = parent.red
+			parent.red = false
+			if w.right != nil {
+				w.right.red = false
+				t.store(w.right)
+			}
+			t.store(w)
+			t.store(parent)
+			t.rotateLeft(parent)
+			x = t.root
+			break
+		} else {
+			w := parent.left
+			if w == nil {
+				break
+			}
+			t.load(w)
+			if w.red {
+				w.red, parent.red = false, true
+				t.store(w)
+				t.store(parent)
+				t.rotateRight(parent)
+				w = parent.left
+				if w == nil {
+					break
+				}
+			}
+			if !isRed(w.right) && !isRed(w.left) {
+				w.red = true
+				t.store(w)
+				x, parent = parent, parent.parent
+				continue
+			}
+			if !isRed(w.left) {
+				if w.right != nil {
+					w.right.red = false
+					t.store(w.right)
+				}
+				w.red = true
+				t.store(w)
+				t.rotateLeft(w)
+				w = parent.left
+			}
+			w.red = parent.red
+			parent.red = false
+			if w.left != nil {
+				w.left.red = false
+				t.store(w.left)
+			}
+			t.store(w)
+			t.store(parent)
+			t.rotateRight(parent)
+			x = t.root
+			break
+		}
+	}
+	if x != nil && x.red {
+		x.red = false
+		t.store(x)
+	}
+}
+
+// validate checks the red-black invariants; the workload tests use it.
+func (t *rbTree) validate() error {
+	if isRed(t.root) {
+		return errRedRoot
+	}
+	_, err := blackHeight(t.root)
+	return err
+}
+
+type rbError string
+
+func (e rbError) Error() string { return string(e) }
+
+const (
+	errRedRoot  = rbError("rbtree: red root")
+	errRedRed   = rbError("rbtree: red node with red child")
+	errBlackImb = rbError("rbtree: black-height imbalance")
+	errOrder    = rbError("rbtree: BST order violated")
+)
+
+func blackHeight(n *rbNode) (int, error) {
+	if n == nil {
+		return 1, nil
+	}
+	if n.red && (isRed(n.left) || isRed(n.right)) {
+		return 0, errRedRed
+	}
+	if n.left != nil && n.left.key > n.key {
+		return 0, errOrder
+	}
+	if n.right != nil && n.right.key < n.key {
+		return 0, errOrder
+	}
+	lh, err := blackHeight(n.left)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := blackHeight(n.right)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, errBlackImb
+	}
+	if !n.red {
+		lh++
+	}
+	return lh, nil
+}
+
+// RBTree generates the "rbtree" micro-benchmark: insert/delete/search of
+// 512-byte nodes in red-black trees, one tree per thread. The hot region
+// near each tree's root is re-written across epochs by rotations and
+// recolorings, driving intra-thread conflicts.
+func RBTree(spec Spec) (*trace.Program, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	p := perThread(spec, func(thread int, r *trace.Rand, b *trace.Builder) func() {
+		t := &rbTree{alloc: newAllocator(0x4000_0000 + mem.Addr(thread)*0x0100_0000 + mem.Addr(thread)*17*512)}
+		keys := make(map[uint64]*rbNode)
+		nextKey := uint64(1)
+		return func() {
+			t.b = b
+			b.Compute(thinkTime(r))
+			switch pickOp(r, t.size) {
+			case opInsert:
+				key := nextKey
+				nextKey++
+				keys[key] = t.insert(key)
+			case opDelete:
+				ks := sortedKeys(keys)
+				key := ks[r.Intn(len(ks))]
+				if n := t.search(key); n != nil {
+					t.delete(n)
+				}
+				delete(keys, key)
+			case opSearch:
+				ks := sortedKeys(keys)
+				t.search(ks[r.Intn(len(ks))])
+			}
+			b.TxEnd()
+		}
+	})
+	return p, nil
+}

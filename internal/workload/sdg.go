@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"persistbarriers/internal/mem"
+	"persistbarriers/internal/trace"
+)
+
+// sdgVertices is the vertex count of the scalable graph.
+const sdgVertices = 512
+
+// SDG generates the "sdg" micro-benchmark: insert/delete of edges in a
+// scalable persistent graph. Each vertex has a header line holding its
+// adjacency-list head; each edge is a 512-byte entry linked into the
+// source vertex's adjacency list. Inserting an edge writes the edge entry
+// (epoch A), then publishes it by updating the vertex header (epoch B) —
+// the same discipline as the linked-list example in the paper's
+// introduction.
+func SDG(spec Spec) (*trace.Program, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	r := trace.NewRand(spec.Seed | 1)
+	alloc := newAllocator(0x5000_0000)
+
+	headers := make([]mem.Addr, sdgVertices)
+	for i := range headers {
+		headers[i] = alloc.line()
+	}
+	adj := make([][]mem.Addr, sdgVertices)
+	edges := 0
+
+	p := roundRobin(spec, func(t int, b *trace.Builder) {
+		b.Compute(thinkTime(r))
+		src := r.Intn(sdgVertices)
+		dst := r.Intn(sdgVertices)
+		switch pickOp(r, edges) {
+		case opInsert:
+			edge := alloc.entry()
+			b.Load(headers[src]) // read adjacency head
+			b.Load(headers[dst]) // read the target vertex
+			b.StoreRange(edge, EntrySize)
+			b.Barrier()
+			b.Store(headers[src]) // publish the edge
+			b.Barrier()
+			adj[src] = append(adj[src], edge)
+			edges++
+		case opDelete:
+			v := src
+			for len(adj[v]) == 0 {
+				v = (v + 1) % sdgVertices
+			}
+			idx := r.Intn(len(adj[v]))
+			b.Load(headers[v])
+			for i := 0; i <= idx; i++ {
+				b.Load(adj[v][i])
+			}
+			if idx == 0 {
+				b.Store(headers[v])
+			} else {
+				b.Store(adj[v][idx-1])
+			}
+			b.Barrier()
+			adj[v] = append(adj[v][:idx], adj[v][idx+1:]...)
+			edges--
+		case opSearch:
+			// Neighbourhood scan of a vertex with edges.
+			v := src
+			for len(adj[v]) == 0 {
+				v = (v + 1) % sdgVertices
+			}
+			b.Load(headers[v])
+			n := min(len(adj[v]), r.Intn(6)+1)
+			for i := 0; i < n; i++ {
+				b.Load(adj[v][i])
+			}
+		}
+		b.TxEnd()
+	})
+	return p, nil
+}
