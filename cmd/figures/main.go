@@ -5,19 +5,25 @@
 //
 // Usage:
 //
-//	figures [-quick] [-threads N] [-seed S] <artifact>
+//	figures [-quick] [-threads N] [-seed S] [-json] <artifact>
 //
 // Artifacts: table1 table2 fig1 fig4 fig11 fig12 fig13 fig14 flushmode
 // writethrough conflictkinds ablations all
+//
+// With -json, each artifact is emitted as a machine-readable document
+// {"artifact", "tables", "notes"} instead of ASCII tables; "all" emits a
+// JSON array of those documents.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"persistbarriers/internal/harness"
+	"persistbarriers/internal/stats"
 )
 
 func main() {
@@ -26,6 +32,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override workload seed")
 	microOps := flag.Int("microops", 0, "override micro-benchmark transactions per thread")
 	appOps := flag.Int("appops", 0, "override app-model memory ops per thread")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of ASCII tables")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: figures [flags] <artifact>\nartifacts: %s\n",
 			strings.Join(artifactNames(), " "))
@@ -55,21 +62,48 @@ func main() {
 	}
 
 	name := flag.Arg(0)
+	names := []string{name}
 	if name == "all" {
+		names = names[:0]
 		for _, a := range artifactNames() {
-			if a == "all" {
-				continue
-			}
-			if err := runArtifact(a, opt); err != nil {
-				fmt.Fprintf(os.Stderr, "figures: %s: %v\n", a, err)
-				os.Exit(1)
+			if a != "all" {
+				names = append(names, a)
 			}
 		}
-		return
 	}
-	if err := runArtifact(name, opt); err != nil {
-		fmt.Fprintf(os.Stderr, "figures: %s: %v\n", name, err)
-		os.Exit(1)
+
+	var docs []artifactDoc
+	for _, a := range names {
+		doc, err := runArtifact(a, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", a, err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			docs = append(docs, doc)
+			continue
+		}
+		for _, t := range doc.Tables {
+			fmt.Println(renderData(t))
+		}
+		for _, n := range doc.Notes {
+			fmt.Println(n)
+			fmt.Println()
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		var err error
+		if name == "all" {
+			err = enc.Encode(docs)
+		} else {
+			err = enc.Encode(docs[0])
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -81,79 +115,103 @@ func artifactNames() []string {
 	}
 }
 
-func runArtifact(name string, opt harness.Options) error {
+// artifactDoc is one artifact's output: its tables in machine-readable
+// form plus any free-text notes printed after them in text mode.
+type artifactDoc struct {
+	Artifact string            `json:"artifact"`
+	Tables   []stats.TableData `json:"tables"`
+	Notes    []string          `json:"notes,omitempty"`
+}
+
+// runArtifact computes one artifact and returns its tables and notes.
+func runArtifact(name string, opt harness.Options) (artifactDoc, error) {
+	doc := artifactDoc{Artifact: name}
+	add := func(ts ...*stats.Table) {
+		for _, t := range ts {
+			doc.Tables = append(doc.Tables, t.Data())
+		}
+	}
 	switch name {
 	case "table1":
-		fmt.Println(harness.Table1().Render())
+		add(harness.Table1())
 	case "table2":
-		fmt.Println(harness.Table2().Render())
+		add(harness.Table2())
 	case "fig1":
 		r, err := harness.RunFig1()
 		if err != nil {
-			return err
+			return doc, err
 		}
-		fmt.Println(r.Table().Render())
+		add(r.Table())
 	case "fig4":
 		r, err := harness.RunFig4()
 		if err != nil {
-			return err
+			return doc, err
 		}
-		fmt.Println(r.Table().Render())
+		add(r.Table())
 	case "fig7":
 		r, err := harness.RunFig7()
 		if err != nil {
-			return err
+			return doc, err
 		}
-		fmt.Println(r.Table().Render())
+		add(r.Table())
 	case "fig11", "fig12", "conflictkinds":
 		r, err := harness.RunBEP(opt)
 		if err != nil {
-			return err
+			return doc, err
 		}
 		switch name {
 		case "fig11":
-			fmt.Println(r.Fig11Table().Render())
+			add(r.Fig11Table())
 		case "fig12":
-			fmt.Println(r.Fig12Table().Render())
+			add(r.Fig12Table())
 		default:
-			fmt.Println(r.ConflictKindsTable().Render())
+			add(r.ConflictKindsTable())
 		}
 	case "fig13":
 		r, err := harness.RunFig13(opt)
 		if err != nil {
-			return err
+			return doc, err
 		}
-		fmt.Println(r.Fig13Table().Render())
+		add(r.Fig13Table())
 	case "fig14":
 		r, err := harness.RunFig14(opt)
 		if err != nil {
-			return err
+			return doc, err
 		}
-		fmt.Println(r.Fig14Table().Render())
-		fmt.Printf("inter-thread share of conflicts under LB: %.0f%% (paper: ~86%%)\n\n",
-			100*r.InterConflictShare("LB"))
+		add(r.Fig14Table())
+		doc.Notes = append(doc.Notes, fmt.Sprintf(
+			"inter-thread share of conflicts under LB: %.0f%% (paper: ~86%%)",
+			100*r.InterConflictShare("LB")))
 	case "flushmode":
 		r, err := harness.RunFlushMode(opt)
 		if err != nil {
-			return err
+			return doc, err
 		}
-		fmt.Println(r.Table().Render())
+		add(r.Table())
 	case "writethrough":
 		r, err := harness.RunWriteThrough(opt)
 		if err != nil {
-			return err
+			return doc, err
 		}
-		fmt.Println(r.Table().Render())
+		add(r.Table())
 	case "ablations":
 		r, err := harness.RunAblations(opt)
 		if err != nil {
-			return err
+			return doc, err
 		}
-		for _, t := range r.Tables() {
-			fmt.Println(t.Render())
-		}
+		add(r.Tables()...)
 	default:
-		return fmt.Errorf("unknown artifact %q", name)
+		return doc, fmt.Errorf("unknown artifact %q", name)
 	}
-	return nil
+	return doc, nil
+}
+
+// renderData round-trips a TableData through the ASCII renderer so text
+// mode keeps its original output format.
+func renderData(d stats.TableData) string {
+	t := stats.NewTable(d.Title, d.Headers...)
+	for _, r := range d.Rows {
+		t.AddRow(r...)
+	}
+	return t.Render()
 }

@@ -3,21 +3,35 @@
 // exploratory front end to the library; cmd/figures reproduces the paper's
 // full evaluation.
 //
+// Observability: -trace writes a Chrome trace-event JSON (load it in
+// Perfetto or chrome://tracing to see per-core epoch spans, per-bank
+// flush spans, and conflict markers on the simulated-cycle timebase);
+// -metrics writes cycle-windowed time-series metrics (CSV, or JSON when
+// the path ends in .json) with the window size set by -window; -json
+// prints the run summary as machine-readable JSON on stdout. Failure
+// diagnostics go to stderr so stdout stays parseable.
+//
 // Examples:
 //
 //	persistsim -workload queue -barrier LB++ -threads 32 -ops 100
+//	persistsim -workload queue -barrier LB++ -trace out.json -metrics out.csv -window 5000
 //	persistsim -workload ssca2 -barrier LB -bulk 10000 -logging -ops 20000
-//	persistsim -workload hash -barrier NP
+//	persistsim -workload hash -barrier NP -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"persistbarriers/internal/cache"
 	"persistbarriers/internal/machine"
+	"persistbarriers/internal/obs"
+	"persistbarriers/internal/sim"
+	"persistbarriers/internal/stats"
 	"persistbarriers/internal/trace"
 	"persistbarriers/internal/workload"
 )
@@ -33,6 +47,11 @@ func main() {
 		logging = flag.Bool("logging", false, "enable hardware undo logging (bulk mode)")
 		clflush = flag.Bool("clflush", false, "use invalidating (clflush-style) persists")
 		verbose = flag.Bool("v", false, "print per-cause stall and conflict breakdown")
+
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-viewable) to this file")
+		metricsOut = flag.String("metrics", "", "write cycle-windowed metrics to this file (CSV, or JSON if it ends in .json)")
+		window     = flag.Uint64("window", uint64(obs.DefaultWindow), "metrics window size in cycles")
+		jsonOut    = flag.Bool("json", false, "print the run summary as JSON on stdout")
 	)
 	flag.Parse()
 
@@ -74,6 +93,23 @@ func main() {
 		cfg.FlushMode = cache.Invalidating
 	}
 
+	var (
+		tracer  *obs.ChromeTracer
+		sampler *obs.Sampler
+		sinks   []obs.Sink
+	)
+	if *traceOut != "" {
+		tracer = obs.NewChromeTracer()
+		sinks = append(sinks, tracer)
+	}
+	if *metricsOut != "" {
+		sampler = obs.NewSampler(sim.Cycle(*window))
+		sinks = append(sinks, sampler)
+	}
+	if len(sinks) > 0 {
+		cfg.Probe = obs.NewProbe(sinks...)
+	}
+
 	spec := workload.Spec{Threads: *threads, OpsPerThread: *ops, Seed: *seed}
 	var p *trace.Program
 	var err error
@@ -105,6 +141,34 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Exports are written even for deadlocked runs — a trace of the
+	// cycle the machine wedged at is exactly the debugging artifact.
+	if tracer != nil {
+		if err := writeFile(*traceOut, tracer.Export); err != nil {
+			fmt.Fprintln(os.Stderr, "persistsim:", err)
+			os.Exit(1)
+		}
+	}
+	if sampler != nil {
+		export := sampler.WriteCSV
+		if strings.HasSuffix(*metricsOut, ".json") {
+			export = sampler.WriteJSON
+		}
+		if err := writeFile(*metricsOut, export); err != nil {
+			fmt.Fprintln(os.Stderr, "persistsim:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut {
+		printJSON(os.Stdout, *wl, spec, p, cfg, r)
+		if r.Deadlocked {
+			fmt.Fprintln(os.Stderr, "persistsim: DEADLOCKED (see §3.3 — enable splitting or fix barrier placement)")
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("workload:        %s (%d threads x %d ops, %d trace ops, %d stores)\n",
 		*wl, *threads, *ops, p.Ops(), p.Stores())
 	fmt.Printf("barrier:         %s", r.Barrier)
@@ -113,7 +177,8 @@ func main() {
 	}
 	fmt.Println()
 	if r.Deadlocked {
-		fmt.Println("RESULT:          DEADLOCKED (see §3.3 — enable splitting or fix barrier placement)")
+		// Diagnostics go to stderr so stdout stays machine-parseable.
+		fmt.Fprintln(os.Stderr, "persistsim: DEADLOCKED (see §3.3 — enable splitting or fix barrier placement)")
 		os.Exit(1)
 	}
 	fmt.Printf("exec cycles:     %d (drain at %d)\n", r.ExecCycles, r.DrainCycles)
@@ -125,7 +190,7 @@ func main() {
 	fmt.Printf("NVRAM:           %d line persists, %d log writes, %d reads\n",
 		r.PersistedLines, r.LogWrites, r.MC.Reads)
 	fmt.Printf("caches:          L1 %.1f%% hit, LLC %.1f%% hit\n",
-		hitPct(r.L1.Hits, r.L1.Misses), hitPct(r.LLC.Hits, r.LLC.Misses))
+		stats.HitPct(r.L1.Hits, r.L1.Misses), stats.HitPct(r.LLC.Hits, r.LLC.Misses))
 	if *verbose {
 		fmt.Println("stalls (cycles summed over cores):")
 		for cause := machine.StallIntra; cause <= machine.StallWriteBuffer; cause++ {
@@ -134,9 +199,111 @@ func main() {
 	}
 }
 
-func hitPct(hits, misses uint64) float64 {
-	if hits+misses == 0 {
-		return 0
+// writeFile creates path and streams export into it.
+func writeFile(path string, export func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
-	return 100 * float64(hits) / float64(hits+misses)
+	if err := export(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runSummary is the -json schema: one flat document with the same
+// numbers the text summary prints, plus the per-cause stall breakdown.
+type runSummary struct {
+	Workload     string `json:"workload"`
+	Barrier      string `json:"barrier"`
+	Threads      int    `json:"threads"`
+	OpsPerThread int    `json:"ops_per_thread"`
+	Seed         uint64 `json:"seed"`
+	TraceOps     int    `json:"trace_ops"`
+	TraceStores  int    `json:"trace_stores"`
+	BulkStores   int    `json:"bulk_epoch_stores,omitempty"`
+	Logging      bool   `json:"logging,omitempty"`
+
+	Deadlocked          bool    `json:"deadlocked"`
+	ExecCycles          uint64  `json:"exec_cycles"`
+	DrainCycles         uint64  `json:"drain_cycles"`
+	Transactions        uint64  `json:"transactions"`
+	ThroughputPerKcycle float64 `json:"throughput_per_kcycle"`
+
+	Epochs struct {
+		Opened         uint64  `json:"opened"`
+		Persisted      uint64  `json:"persisted"`
+		ConflictingPct float64 `json:"conflicting_pct"`
+		IDTDeps        uint64  `json:"idt_deps"`
+		Splits         uint64  `json:"splits"`
+		Flushes        uint64  `json:"flushes"`
+		Natural        uint64  `json:"natural_persists"`
+	} `json:"epochs"`
+
+	Conflicts struct {
+		Intra        uint64 `json:"intra"`
+		Inter        uint64 `json:"inter"`
+		Eviction     uint64 `json:"eviction"`
+		IDTFallbacks uint64 `json:"idt_fallbacks"`
+		IDTResolved  uint64 `json:"idt_resolved"`
+	} `json:"conflicts"`
+
+	NVRAM struct {
+		LinePersists uint64 `json:"line_persists"`
+		LogWrites    uint64 `json:"log_writes"`
+		Reads        uint64 `json:"reads"`
+	} `json:"nvram"`
+
+	Caches struct {
+		L1HitPct  float64 `json:"l1_hit_pct"`
+		LLCHitPct float64 `json:"llc_hit_pct"`
+	} `json:"caches"`
+
+	Stalls map[string]uint64 `json:"stalls"`
+}
+
+func printJSON(w *os.File, wl string, spec workload.Spec, p *trace.Program, cfg machine.Config, r *machine.Result) {
+	var s runSummary
+	s.Workload = wl
+	s.Barrier = r.Barrier
+	s.Threads = spec.Threads
+	s.OpsPerThread = spec.OpsPerThread
+	s.Seed = spec.Seed
+	s.TraceOps = p.Ops()
+	s.TraceStores = p.Stores()
+	s.BulkStores = cfg.BulkEpochStores
+	s.Logging = cfg.Logging
+	s.Deadlocked = r.Deadlocked
+	s.ExecCycles = uint64(r.ExecCycles)
+	s.DrainCycles = uint64(r.DrainCycles)
+	s.Transactions = r.Transactions
+	s.ThroughputPerKcycle = r.Throughput()
+	s.Epochs.Opened = r.Epochs.Opened
+	s.Epochs.Persisted = r.Epochs.Persisted
+	s.Epochs.ConflictingPct = 100 * r.Epochs.ConflictingFraction()
+	s.Epochs.IDTDeps = r.Epochs.Deps
+	s.Epochs.Splits = r.Epochs.Splits
+	s.Epochs.Flushes = r.Epochs.Flushes
+	s.Epochs.Natural = r.Epochs.Natural
+	s.Conflicts.Intra = r.Conflicts.Intra
+	s.Conflicts.Inter = r.Conflicts.Inter
+	s.Conflicts.Eviction = r.Conflicts.Eviction
+	s.Conflicts.IDTFallbacks = r.Conflicts.IDTFallbacks
+	s.Conflicts.IDTResolved = r.Conflicts.IDTResolved()
+	s.NVRAM.LinePersists = r.PersistedLines
+	s.NVRAM.LogWrites = r.LogWrites
+	s.NVRAM.Reads = r.MC.Reads
+	s.Caches.L1HitPct = stats.HitPct(r.L1.Hits, r.L1.Misses)
+	s.Caches.LLCHitPct = stats.HitPct(r.LLC.Hits, r.LLC.Misses)
+	s.Stalls = make(map[string]uint64)
+	for cause := machine.StallIntra; cause <= machine.StallWriteBuffer; cause++ {
+		s.Stalls[cause.String()] = uint64(r.StallTotal(cause))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(&s); err != nil {
+		fmt.Fprintln(os.Stderr, "persistsim:", err)
+		os.Exit(1)
+	}
 }

@@ -150,6 +150,7 @@ func (a *Arbiter) Kick() {
 		a.flushing = true
 		head.State = Flushing
 		a.stats.FlushesDriven++
+		a.table.cfg.Probe.EpochFlushStart(a.eng.Now(), head.ID.Core, head.ID.Num, head.Cause.String())
 		a.driver.FlushEpoch(head, func() {
 			a.flushing = false
 			head.FlushCompleted = true

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"persistbarriers/internal/mem"
+	"persistbarriers/internal/obs"
 	"persistbarriers/internal/sim"
 )
 
@@ -201,6 +202,9 @@ type Config struct {
 	// RecordHistory retains per-epoch write sets and a summary of every
 	// closed epoch for the recovery checker. Benchmarks leave it off.
 	RecordHistory bool
+	// Probe receives epoch-lifecycle events (open, complete, flush
+	// start, persist, split). Nil disables instrumentation.
+	Probe *obs.Probe
 }
 
 // DefaultConfig matches Section 4.3's hardware sizing.
@@ -256,11 +260,11 @@ func NewTable(core int, cfg Config) (*Table, error) {
 		return nil, fmt.Errorf("epoch: DepRegs must be non-negative, got %d", cfg.DepRegs)
 	}
 	t := &Table{Core: core, cfg: cfg}
-	t.open()
+	t.open(0)
 	return t, nil
 }
 
-func (t *Table) open() *Record {
+func (t *Table) open(now sim.Cycle) *Record {
 	r := &Record{
 		ID:      ID{Core: t.Core, Num: t.nextNum},
 		State:   Open,
@@ -273,6 +277,7 @@ func (t *Table) open() *Record {
 	t.nextNum++
 	t.window = append(t.window, r)
 	t.stats.EpochsOpened++
+	t.cfg.Probe.EpochOpen(now, t.Core, r.ID.Num)
 	return r
 }
 
@@ -313,8 +318,10 @@ func (t *Table) Advance(now sim.Cycle, why AdvanceReason) *Record {
 	t.stats.ByAdvance[why]++
 	if why == SplitAdvance {
 		t.stats.Splits++
+		t.cfg.Probe.EpochSplit(now, t.Core, cur.ID.Num)
 	}
-	return t.open()
+	t.cfg.Probe.EpochComplete(now, t.Core, cur.ID.Num, why.String(), cur.StoreCount)
+	return t.open(now)
 }
 
 // Lookup finds the unpersisted epoch numbered num, or nil (persisted or
@@ -374,6 +381,7 @@ func (t *Table) markPersisted(r *Record, now sim.Cycle) {
 	if r.ConflictDemanded || cause.Conflicting() {
 		t.stats.ConflictingEpochs++
 	}
+	t.cfg.Probe.EpochPersist(now, t.Core, r.ID.Num, cause.String())
 	if t.cfg.RecordHistory {
 		t.history = append(t.history, &Summary{
 			ID:            r.ID,

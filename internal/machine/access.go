@@ -7,6 +7,7 @@ import (
 	"persistbarriers/internal/mem"
 	"persistbarriers/internal/noc"
 	"persistbarriers/internal/nvram"
+	"persistbarriers/internal/obs"
 	"persistbarriers/internal/sim"
 )
 
@@ -186,6 +187,9 @@ func (m *Machine) llcApplyWriteback(b *bankCtx, line mem.Line, tag epoch.ID, ver
 		if rec := m.lookupRec(ent.Tag); rec != nil {
 			m.evictionConflicts++
 			rec.ConflictDemanded = true
+			if m.cfg.Probe.Active() {
+				m.cfg.Probe.Conflict(m.eng.Now(), obs.ConflictEviction, -1, rec.ID.Core, rec.ID.Num, line, obs.ResolveDemand)
+			}
 			src := m.cores[ent.Tag.Core]
 			m.demandFlush(src, rec, epoch.CauseEviction, func() {
 				m.llcApplyWriteback(b, line, tag, ver, cont)
@@ -302,6 +306,13 @@ func (m *Machine) llcInsert(c *coreCtx, b *bankCtx, line mem.Line, ver mem.Versi
 	// IDT sources) must persist first. Demand the flush and retry.
 	m.evictionConflicts++
 	rec.ConflictDemanded = true
+	if m.cfg.Probe.Active() {
+		reqCore := -1
+		if c != nil {
+			reqCore = c.id
+		}
+		m.cfg.Probe.Conflict(m.eng.Now(), obs.ConflictEviction, reqCore, rec.ID.Core, rec.ID.Num, v.Line, obs.ResolveDemand)
+	}
 	t0 := m.eng.Now()
 	m.demandFlush(src, rec, epoch.CauseEviction, func() {
 		if c != nil {
@@ -431,6 +442,9 @@ func (m *Machine) tryCommitStoreEx(c *coreCtx, line mem.Line, dep *epoch.Record,
 			if rec := c.table.Lookup(ent.Tag.Num); rec != nil {
 				m.intraConflicts++
 				rec.ConflictDemanded = true
+				if m.cfg.Probe.Active() {
+					m.cfg.Probe.Conflict(m.eng.Now(), obs.ConflictIntra, c.id, rec.ID.Core, rec.ID.Num, line, obs.ResolveOnline)
+				}
 				c.arb.DemandThrough(ent.Tag.Num, epoch.CauseIntra)
 				m.stallUntil(c, &rec.Persisted, StallIntra, func() {
 					m.tryCommitStoreEx(c, line, dep, locked, done)

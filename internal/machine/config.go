@@ -13,6 +13,7 @@ import (
 	"persistbarriers/internal/epoch"
 	"persistbarriers/internal/noc"
 	"persistbarriers/internal/nvram"
+	"persistbarriers/internal/obs"
 	"persistbarriers/internal/sim"
 )
 
@@ -126,6 +127,12 @@ type Config struct {
 	// DebugLine, when non-zero, turns on event tracing for that line;
 	// the trace is retrievable via Machine.DebugTrace. Diagnostic only.
 	DebugLine uint64
+
+	// Probe receives the observability event stream (epoch lifecycle,
+	// conflicts, flush handshakes, NVRAM/NoC samples) from every layer
+	// of the machine. Nil (the default) disables instrumentation; the
+	// uninstrumented hot path then costs one branch per site.
+	Probe *obs.Probe
 }
 
 // DefaultConfig returns the paper's Table 1 machine running the plain LB

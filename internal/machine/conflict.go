@@ -3,6 +3,7 @@ package machine
 import (
 	"persistbarriers/internal/epoch"
 	"persistbarriers/internal/mem"
+	"persistbarriers/internal/obs"
 )
 
 // resolveConflict enforces the epoch-conflict rules of Section 3 before a
@@ -33,6 +34,9 @@ func (m *Machine) resolveConflict(c *coreCtx, kind mem.Kind, line mem.Line, tag 
 		}
 		m.intraConflicts++
 		rec.ConflictDemanded = true
+		if m.cfg.Probe.Active() {
+			m.cfg.Probe.Conflict(m.eng.Now(), obs.ConflictIntra, c.id, rec.ID.Core, rec.ID.Num, line, obs.ResolveOnline)
+		}
 		c.arb.DemandThrough(tag.Num, epoch.CauseIntra)
 		m.stallUntil(c, &rec.Persisted, StallIntra, func() { cont(nil) })
 		return
@@ -47,6 +51,13 @@ func (m *Machine) resolveConflict(c *coreCtx, kind mem.Kind, line mem.Line, tag 
 	}
 	m.interConflicts++
 	rec.ConflictDemanded = true
+	if m.cfg.Probe.Active() {
+		res := obs.ResolveOnline
+		if m.cfg.IDT {
+			res = obs.ResolveIDT
+		}
+		m.cfg.Probe.Conflict(m.eng.Now(), obs.ConflictInter, c.id, rec.ID.Core, rec.ID.Num, line, res)
+	}
 	if m.cfg.IDT {
 		m.idtResolve(c, src, rec, cont)
 		return
@@ -93,6 +104,9 @@ func (m *Machine) attachDep(c *coreCtx, rec *epoch.Record, cont func()) {
 		return
 	}
 	m.idtFallbacks++
+	if m.cfg.Probe.Active() {
+		m.cfg.Probe.IDTFallback(m.eng.Now(), c.id, rec.ID.Core, rec.ID.Num)
+	}
 	src := m.cores[rec.ID.Core]
 	src.arb.DemandThrough(rec.ID.Num, epoch.CauseInter)
 	m.stallUntil(c, &rec.Persisted, StallInter, cont)

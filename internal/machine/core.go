@@ -27,6 +27,9 @@ func (m *Machine) stepCore(c *coreCtx) {
 		m.eng.After(op.Cycles, after)
 	case trace.TxEnd:
 		c.txs++
+		if m.cfg.Probe.Active() {
+			m.cfg.Probe.TxRetired(m.eng.Now(), c.id)
+		}
 		m.eng.After(0, after) // zero-time, but break recursion depth
 	case trace.Barrier:
 		m.barrier(c, after)

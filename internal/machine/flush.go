@@ -122,9 +122,15 @@ func (m *Machine) flushEpoch(c *coreCtx, rec *epoch.Record, done func()) {
 // BankAck when its last PersistAck arrives.
 func (m *Machine) bankFlush(c *coreCtx, b *bankCtx, rec *epoch.Record, barrier *sim.Barrier) {
 	bankAck := func() {
+		if m.cfg.Probe.Active() {
+			m.cfg.Probe.BankAck(m.eng.Now(), b.id, rec.ID.Core, rec.ID.Num)
+		}
 		m.eng.After(m.mesh.Latency(b.tile, c.tile, 0), barrier.Arrive)
 	}
 	lines := b.arr.LinesOf(rec.ID)
+	if m.cfg.Probe.Active() {
+		m.cfg.Probe.BankFlushStart(m.eng.Now(), b.id, rec.ID.Core, rec.ID.Num, len(lines))
+	}
 	if len(lines) == 0 {
 		bankAck()
 		return

@@ -182,6 +182,11 @@ func New(cfg Config) (*Machine, error) {
 		latest:   make(map[mem.Line]mem.Version),
 	}
 
+	if cfg.Probe.Active() {
+		mesh.AttachProbe(cfg.Probe, eng.Now)
+		mcs.AttachProbe(cfg.Probe)
+	}
+
 	// Memory controllers sit at the mesh corners (Figure 2).
 	corners := []int{
 		0,
@@ -195,6 +200,7 @@ func New(cfg Config) (*Machine, error) {
 
 	epochCfg := cfg.Epoch
 	epochCfg.RecordHistory = cfg.RecordHistory
+	epochCfg.Probe = cfg.Probe
 	for i := 0; i < cfg.Cores; i++ {
 		c := &coreCtx{
 			id:   i,
@@ -428,6 +434,9 @@ func (m *Machine) lineDurable(rec *epoch.Record, line mem.Line, ver mem.Version)
 	}
 	m.dbg(line, "lineDurable rec=%v ver=%d", recID, ver)
 	m.persistedLines++
+	if m.cfg.Probe.Active() {
+		m.cfg.Probe.PersistAck(m.eng.Now(), line, recID.Core, recID.Num)
+	}
 	if m.cfg.RecordOpTimes {
 		id := epoch.None
 		if rec != nil {

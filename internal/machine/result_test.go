@@ -1,0 +1,75 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"persistbarriers/internal/sim"
+)
+
+func TestConflictCountsTotal(t *testing.T) {
+	c := ConflictCounts{Intra: 3, Inter: 5, Eviction: 2, IDTFallbacks: 4}
+	// IDTFallbacks are a resolution path of inter conflicts already in
+	// Inter, so Total must not double-count them.
+	if got := c.Total(); got != 10 {
+		t.Errorf("Total = %d, want 10", got)
+	}
+	if got := (ConflictCounts{}).Total(); got != 0 {
+		t.Errorf("zero Total = %d, want 0", got)
+	}
+}
+
+func TestConflictCountsIDTResolved(t *testing.T) {
+	cases := []struct {
+		name string
+		c    ConflictCounts
+		want uint64
+	}{
+		{"no IDT", ConflictCounts{Inter: 7}, 7},
+		{"some fallbacks", ConflictCounts{Inter: 7, IDTFallbacks: 2}, 5},
+		{"all fallbacks", ConflictCounts{Inter: 4, IDTFallbacks: 4}, 0},
+		{"clamped", ConflictCounts{Inter: 1, IDTFallbacks: 3}, 0},
+		{"zero", ConflictCounts{}, 0},
+	}
+	for _, tc := range cases {
+		if got := tc.c.IDTResolved(); got != tc.want {
+			t.Errorf("%s: IDTResolved = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestConflictingFraction(t *testing.T) {
+	e := EpochAggregate{Persisted: 8, Conflicting: 2}
+	if got := e.ConflictingFraction(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("ConflictingFraction = %v, want 0.25", got)
+	}
+	if got := (EpochAggregate{}).ConflictingFraction(); got != 0 {
+		t.Errorf("empty ConflictingFraction = %v, want 0", got)
+	}
+}
+
+func TestResultThroughput(t *testing.T) {
+	r := &Result{Transactions: 50, ExecCycles: 10000}
+	if got := r.Throughput(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Throughput = %v, want 5 per kilocycle", got)
+	}
+	if got := (&Result{Transactions: 50}).Throughput(); got != 0 {
+		t.Errorf("zero-cycle Throughput = %v, want 0", got)
+	}
+}
+
+func TestResultStallTotal(t *testing.T) {
+	r := &Result{Cores: make([]CoreResult, 3)}
+	r.Cores[0].Stalls[StallIntra] = 10
+	r.Cores[2].Stalls[StallIntra] = 5
+	r.Cores[1].Stalls[StallBarrier] = 7
+	if got := r.StallTotal(StallIntra); got != sim.Cycle(15) {
+		t.Errorf("StallTotal(intra) = %d, want 15", got)
+	}
+	if got := r.StallTotal(StallBarrier); got != sim.Cycle(7) {
+		t.Errorf("StallTotal(barrier) = %d, want 7", got)
+	}
+	if got := r.StallTotal(StallEviction); got != 0 {
+		t.Errorf("StallTotal(eviction) = %d, want 0", got)
+	}
+}

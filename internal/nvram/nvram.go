@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"persistbarriers/internal/mem"
+	"persistbarriers/internal/obs"
 	"persistbarriers/internal/sim"
 )
 
@@ -64,6 +65,7 @@ type Controller struct {
 	log   []LogEntry               // durable undo-log region, append order
 
 	stats Stats
+	probe *obs.Probe
 }
 
 // Stats counts controller activity.
@@ -99,6 +101,10 @@ func NewController(id int, eng *sim.Engine, cfg Config) (*Controller, error) {
 // ID reports the controller's index.
 func (c *Controller) ID() int { return c.id }
 
+// AttachProbe installs an observability probe; each admitted request
+// emits a queue-depth sample (its queuing delay in cycles).
+func (c *Controller) AttachProbe(p *obs.Probe) { c.probe = p }
+
 // admit claims the controller for one request and returns the cycle at
 // which service begins.
 func (c *Controller) admit(service sim.Cycle) sim.Cycle {
@@ -110,6 +116,9 @@ func (c *Controller) admit(service sim.Cycle) sim.Cycle {
 	}
 	c.free = start + service
 	c.stats.BusyCycles += service
+	if c.probe.Active() {
+		c.probe.NVRAMQueue(now, c.id, start-now)
+	}
 	return start
 }
 
@@ -188,6 +197,13 @@ func NewBank(n int, eng *sim.Engine, cfg Config) (*Bank, error) {
 		b.ctrls[i] = c
 	}
 	return b, nil
+}
+
+// AttachProbe installs an observability probe on every controller.
+func (b *Bank) AttachProbe(p *obs.Probe) {
+	for _, c := range b.ctrls {
+		c.AttachProbe(p)
+	}
 }
 
 // ControllerFor returns the controller owning line (line-interleaved).

@@ -1,0 +1,189 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"persistbarriers/internal/machine"
+	"persistbarriers/internal/obs"
+	"persistbarriers/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace file")
+
+// traceEvent mirrors the Chrome trace-event array-format record; the
+// golden test asserts the exporter's output parses into this shape.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args"`
+}
+
+// runTraced runs the golden workload (queue on LB++, 2 threads x 4 ops)
+// with a ChromeTracer attached and returns the exported bytes plus the
+// run result.
+func runTraced(t *testing.T) ([]byte, *machine.Result) {
+	t.Helper()
+	tracer := obs.NewChromeTracer()
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 2
+	cfg.Model = machine.LB
+	cfg.IDT, cfg.PF = true, true
+	cfg.Probe = obs.NewProbe(tracer)
+
+	spec := workload.Spec{Threads: 2, OpsPerThread: 4, Seed: 7}
+	p, err := workload.Microbenchmarks()["queue"](spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tracer.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), r
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	got, r := runTraced(t)
+
+	golden := filepath.Join("testdata", "queue_lbpp.trace.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace differs from golden file %s (run with -update to regenerate)", golden)
+	}
+
+	var evs []traceEvent
+	if err := json.Unmarshal(got, &evs); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	// Phase vocabulary and format invariants.
+	sawMeta := false
+	var content []traceEvent
+	for i, ev := range evs {
+		switch ev.Ph {
+		case "M":
+			sawMeta = true
+			if ev.Name != "process_name" && ev.Name != "thread_name" {
+				t.Errorf("event %d: unknown metadata %q", i, ev.Name)
+			}
+			if ev.Args["name"] == "" {
+				t.Errorf("event %d: metadata without a name arg", i)
+			}
+		case "X", "i", "C":
+			content = append(content, ev)
+			if ev.Ph == "i" && ev.S == "" {
+				t.Errorf("event %d: instant without scope", i)
+			}
+		default:
+			t.Errorf("event %d: unexpected phase %q", i, ev.Ph)
+		}
+	}
+	if !sawMeta {
+		t.Error("no metadata events")
+	}
+
+	// Timestamps are monotone (nondecreasing) across content events.
+	for i := 1; i < len(content); i++ {
+		if content[i].Ts < content[i-1].Ts {
+			t.Fatalf("content timestamps not monotone: %d after %d",
+				content[i].Ts, content[i-1].Ts)
+		}
+	}
+
+	// X spans on one (pid, tid) track must be disjoint or strictly
+	// nested — Perfetto renders overlap as garbage.
+	type track struct{ pid, tid int }
+	spans := make(map[track][]traceEvent)
+	for _, ev := range content {
+		if ev.Ph == "X" {
+			k := track{ev.Pid, ev.Tid}
+			spans[k] = append(spans[k], ev)
+		}
+	}
+	for k, ss := range spans {
+		sort.SliceStable(ss, func(i, j int) bool {
+			if ss[i].Ts != ss[j].Ts {
+				return ss[i].Ts < ss[j].Ts
+			}
+			return ss[i].Dur > ss[j].Dur // outer span first on ties
+		})
+		var stack []traceEvent
+		for _, s := range ss {
+			end := s.Ts + s.Dur
+			for len(stack) > 0 && stack[len(stack)-1].Ts+stack[len(stack)-1].Dur <= s.Ts {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 {
+				if outer := stack[len(stack)-1]; end > outer.Ts+outer.Dur {
+					t.Fatalf("track %+v: span %q [%d,%d) overlaps %q [%d,%d)",
+						k, s.Name, s.Ts, end, outer.Name, outer.Ts, outer.Ts+outer.Dur)
+				}
+			}
+			stack = append(stack, s)
+		}
+	}
+
+	// Every persisted epoch has exactly one finished epoch span.
+	finished := 0
+	for _, ev := range content {
+		if ev.Ph == "X" && ev.Cat == "epoch" && ev.Args["unfinished"] == nil {
+			if !strings.HasPrefix(ev.Name, "E") {
+				t.Errorf("epoch span with unexpected name %q", ev.Name)
+			}
+			finished++
+		}
+	}
+	if uint64(finished) != r.Epochs.Persisted {
+		t.Errorf("finished epoch spans = %d, want Result.Epochs.Persisted = %d",
+			finished, r.Epochs.Persisted)
+	}
+	if r.Epochs.Persisted == 0 {
+		t.Error("golden run persisted no epochs — workload too small to exercise the tracer")
+	}
+}
+
+// TestChromeTraceDeterministic runs the traced workload twice and
+// requires byte-identical exports — the property the golden file (and
+// every diff against it) depends on.
+func TestChromeTraceDeterministic(t *testing.T) {
+	a, _ := runTraced(t)
+	b, _ := runTraced(t)
+	if !bytes.Equal(a, b) {
+		t.Error("two identical runs exported different traces")
+	}
+}

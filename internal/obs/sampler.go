@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"persistbarriers/internal/sim"
+)
+
+// DefaultWindow is the sampler's window size when none is given.
+const DefaultWindow = sim.Cycle(10000)
+
+// WindowStats aggregates the event stream over one N-cycle window. All
+// counters are raw counts within the window; rates are derived by the
+// accessors (or by the consumer from the CSV columns).
+type WindowStats struct {
+	Start  sim.Cycle `json:"start"`
+	Window sim.Cycle `json:"window"`
+
+	Txs uint64 `json:"txs"`
+
+	EpochsOpened    uint64 `json:"epochs_opened"`
+	EpochsPersisted uint64 `json:"epochs_persisted"`
+	Splits          uint64 `json:"splits"`
+	FlushesStarted  uint64 `json:"flushes_started"`
+
+	ConflictsIntra    uint64 `json:"conflicts_intra"`
+	ConflictsInter    uint64 `json:"conflicts_inter"`
+	ConflictsEviction uint64 `json:"conflicts_eviction"`
+	IDTFallbacks      uint64 `json:"idt_fallbacks"`
+
+	LinesPersisted uint64 `json:"lines_persisted"`
+
+	NoCMessages uint64 `json:"noc_messages"`
+	NoCFlits    uint64 `json:"noc_flits"`
+
+	// NVRAMSamples counts controller admissions in the window and
+	// NVRAMWaitSum their summed queuing delay; WaitAvg derives the mean
+	// write-queue occupancy signal.
+	NVRAMSamples uint64 `json:"nvram_samples"`
+	NVRAMWaitSum uint64 `json:"nvram_wait_sum"`
+}
+
+// Conflicts sums all conflict events in the window.
+func (w WindowStats) Conflicts() uint64 {
+	return w.ConflictsIntra + w.ConflictsInter + w.ConflictsEviction
+}
+
+// ThroughputPerKcycle is transactions per kilocycle within the window.
+func (w WindowStats) ThroughputPerKcycle() float64 {
+	if w.Window == 0 {
+		return 0
+	}
+	return float64(w.Txs) / float64(w.Window) * 1000
+}
+
+// ConflictRatePerKcycle is conflict events per kilocycle in the window.
+func (w WindowStats) ConflictRatePerKcycle() float64 {
+	if w.Window == 0 {
+		return 0
+	}
+	return float64(w.Conflicts()) / float64(w.Window) * 1000
+}
+
+// WaitAvg is the mean NVRAM queuing delay per admitted request (cycles).
+func (w WindowStats) WaitAvg() float64 {
+	if w.NVRAMSamples == 0 {
+		return 0
+	}
+	return float64(w.NVRAMWaitSum) / float64(w.NVRAMSamples)
+}
+
+// Sampler is a Sink that folds the event stream into fixed-width cycle
+// windows. It relies on emissions arriving in nondecreasing cycle order
+// (which the simulation engine guarantees).
+type Sampler struct {
+	window sim.Cycle
+	cur    WindowStats
+	done   []WindowStats
+	seen   bool
+}
+
+// NewSampler returns a sampler with the given window size; window <= 0
+// selects DefaultWindow.
+func NewSampler(window sim.Cycle) *Sampler {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Sampler{window: window, cur: WindowStats{Window: window}}
+}
+
+// Emit implements Sink.
+func (s *Sampler) Emit(ev Event) {
+	s.seen = true
+	for ev.Cycle >= s.cur.Start+s.window {
+		s.done = append(s.done, s.cur)
+		s.cur = WindowStats{Start: s.cur.Start + s.window, Window: s.window}
+	}
+	switch ev.Kind {
+	case KTxRetired:
+		s.cur.Txs++
+	case KEpochOpen:
+		s.cur.EpochsOpened++
+	case KEpochPersist:
+		s.cur.EpochsPersisted++
+	case KEpochSplit:
+		s.cur.Splits++
+	case KEpochFlushStart:
+		s.cur.FlushesStarted++
+	case KConflict:
+		switch ev.Label {
+		case ConflictIntra:
+			s.cur.ConflictsIntra++
+		case ConflictInter:
+			s.cur.ConflictsInter++
+		case ConflictEviction:
+			s.cur.ConflictsEviction++
+		}
+	case KIDTFallback:
+		s.cur.IDTFallbacks++
+	case KPersistAck:
+		s.cur.LinesPersisted++
+	case KNoCMessage:
+		s.cur.NoCMessages++
+		s.cur.NoCFlits += ev.Value
+	case KNVRAMQueue:
+		s.cur.NVRAMSamples++
+		s.cur.NVRAMWaitSum += ev.Value
+	}
+}
+
+// Windows returns the completed windows plus the in-progress one (when
+// any event has been observed). The sampler remains usable afterwards.
+func (s *Sampler) Windows() []WindowStats {
+	out := make([]WindowStats, len(s.done), len(s.done)+1)
+	copy(out, s.done)
+	if s.seen {
+		out = append(out, s.cur)
+	}
+	return out
+}
+
+// csvHeader lists the exported columns, one per WindowStats field plus
+// the derived averages.
+var csvHeader = []string{
+	"start", "window", "txs",
+	"epochs_opened", "epochs_persisted", "splits", "flushes_started",
+	"conflicts_intra", "conflicts_inter", "conflicts_eviction", "idt_fallbacks",
+	"lines_persisted", "noc_messages", "noc_flits",
+	"nvram_samples", "nvram_wait_avg",
+	"tx_per_kcycle", "conflicts_per_kcycle",
+}
+
+// WriteCSV writes the windows as CSV with a header row.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	for i, col := range csvHeader {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, col); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for _, ws := range s.Windows() {
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%.4f\n",
+			ws.Start, ws.Window, ws.Txs,
+			ws.EpochsOpened, ws.EpochsPersisted, ws.Splits, ws.FlushesStarted,
+			ws.ConflictsIntra, ws.ConflictsInter, ws.ConflictsEviction, ws.IDTFallbacks,
+			ws.LinesPersisted, ws.NoCMessages, ws.NoCFlits,
+			ws.NVRAMSamples, ws.WaitAvg(),
+			ws.ThroughputPerKcycle(), ws.ConflictRatePerKcycle())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the windows as a JSON array.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s.Windows())
+}

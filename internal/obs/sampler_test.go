@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSamplerWindowRolling(t *testing.T) {
+	p := NewProbe(NewSampler(0)) // exercise the default-window path too
+	s := NewSampler(100)
+	pr := NewProbe(s)
+
+	pr.TxRetired(10, 0)
+	pr.TxRetired(99, 1)
+	pr.Conflict(50, ConflictIntra, 0, 1, 0, 0x40, ResolveOnline)
+	// Cycle 100 starts the second window.
+	pr.TxRetired(100, 0)
+	pr.Conflict(150, ConflictInter, 0, 1, 1, 0x80, ResolveIDT)
+	pr.IDTFallback(160, 0, 1, 1)
+	// A gap of several windows: empty windows must still be materialized
+	// so the time axis stays uniform.
+	pr.PersistAck(420, 0x40, 0, 0)
+	p.TxRetired(420, 0)
+
+	ws := s.Windows()
+	if len(ws) != 5 {
+		t.Fatalf("got %d windows, want 5 (including 2 empty gap windows)", len(ws))
+	}
+	w0 := ws[0]
+	if w0.Start != 0 || w0.Txs != 2 || w0.ConflictsIntra != 1 || w0.Conflicts() != 1 {
+		t.Errorf("window 0 = %+v", w0)
+	}
+	if got := w0.ThroughputPerKcycle(); math.Abs(got-20) > 1e-12 {
+		t.Errorf("window 0 throughput = %v, want 20/kcycle", got)
+	}
+	w1 := ws[1]
+	if w1.Start != 100 || w1.Txs != 1 || w1.ConflictsInter != 1 || w1.IDTFallbacks != 1 {
+		t.Errorf("window 1 = %+v", w1)
+	}
+	if ws[2].Conflicts() != 0 || ws[3].Txs != 0 {
+		t.Errorf("gap windows not empty: %+v %+v", ws[2], ws[3])
+	}
+	w4 := ws[4]
+	if w4.Start != 400 || w4.LinesPersisted != 1 {
+		t.Errorf("window 4 = %+v", w4)
+	}
+}
+
+func TestSamplerNVRAMWaitAvg(t *testing.T) {
+	s := NewSampler(1000)
+	p := NewProbe(s)
+	p.NVRAMQueue(1, 0, 10)
+	p.NVRAMQueue(2, 1, 30)
+	ws := s.Windows()
+	if len(ws) != 1 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	if got := ws[0].WaitAvg(); math.Abs(got-20) > 1e-12 {
+		t.Errorf("WaitAvg = %v, want 20", got)
+	}
+	if (WindowStats{}).WaitAvg() != 0 {
+		t.Error("empty WaitAvg should be 0")
+	}
+}
+
+func TestSamplerEmptyExports(t *testing.T) {
+	s := NewSampler(100)
+	if ws := s.Windows(); len(ws) != 0 {
+		t.Errorf("untouched sampler has %d windows, want 0", len(ws))
+	}
+	var csv bytes.Buffer
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimRight(csv.String(), "\n"), "\n"); len(lines) != 1 {
+		t.Errorf("empty CSV should be header-only, got %q", csv.String())
+	}
+}
+
+func TestSamplerCSVAndJSONAgree(t *testing.T) {
+	s := NewSampler(50)
+	p := NewProbe(s)
+	p.TxRetired(10, 0)
+	p.TxRetired(60, 1)
+	p.NoCMessage(70, 3, 2)
+
+	var csv bytes.Buffer
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(csv.String(), "\n"), "\n")
+	if len(lines) != 3 { // header + 2 windows
+		t.Fatalf("CSV lines = %d:\n%s", len(lines), csv.String())
+	}
+	cols := strings.Split(lines[0], ",")
+	row := strings.Split(lines[1], ",")
+	if len(cols) != len(row) {
+		t.Fatalf("header has %d columns, row has %d", len(cols), len(row))
+	}
+
+	var js bytes.Buffer
+	if err := s.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var ws []WindowStats
+	if err := json.Unmarshal(js.Bytes(), &ws); err != nil {
+		t.Fatalf("JSON export does not round-trip: %v", err)
+	}
+	if len(ws) != 2 || ws[0].Txs != 1 || ws[1].NoCFlits != 3 {
+		t.Errorf("JSON windows = %+v", ws)
+	}
+}

@@ -38,6 +38,15 @@ func Amean(vs []float64) float64 {
 	return sum / float64(len(vs))
 }
 
+// HitPct returns the hit rate of a hit/miss counter pair as a
+// percentage; an empty pair reports 0 rather than NaN.
+func HitPct(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(hits+misses)
+}
+
 // Table is a fixed-width ASCII table renderer.
 type Table struct {
 	title   string
@@ -66,6 +75,27 @@ func (t *Table) AddF(label, verb string, vals ...float64) {
 		cells = append(cells, fmt.Sprintf(verb, v))
 	}
 	t.AddRow(cells...)
+}
+
+// TableData is a Table's content in machine-readable form, the shape
+// the figures CLI exports as JSON alongside the ASCII rendering.
+type TableData struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// Data returns a copy of the table's title, headers, and rows.
+func (t *Table) Data() TableData {
+	rows := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		rows[i] = append([]string(nil), r...)
+	}
+	return TableData{
+		Title:   t.title,
+		Headers: append([]string(nil), t.headers...),
+		Rows:    rows,
+	}
 }
 
 // Render formats the table.

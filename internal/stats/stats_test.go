@@ -92,3 +92,30 @@ func TestTableShortRowPadded(t *testing.T) {
 		t.Error("short row dropped")
 	}
 }
+
+func TestHitPct(t *testing.T) {
+	if got := HitPct(3, 1); math.Abs(got-75) > 1e-12 {
+		t.Errorf("HitPct(3,1) = %v, want 75", got)
+	}
+	if got := HitPct(0, 0); got != 0 {
+		t.Errorf("HitPct(0,0) = %v, want 0 (not NaN)", got)
+	}
+	if got := HitPct(5, 0); got != 100 {
+		t.Errorf("HitPct(5,0) = %v, want 100", got)
+	}
+}
+
+func TestTableData(t *testing.T) {
+	tbl := NewTable("T", "a", "b")
+	tbl.AddRow("x", "y")
+	d := tbl.Data()
+	if d.Title != "T" || len(d.Headers) != 2 || len(d.Rows) != 1 || d.Rows[0][1] != "y" {
+		t.Errorf("Data = %+v", d)
+	}
+	// Deep copy: mutating the snapshot must not reach the table.
+	d.Rows[0][0] = "mutated"
+	d.Headers[0] = "mutated"
+	if out := tbl.Render(); strings.Contains(out, "mutated") {
+		t.Errorf("Data aliases table storage:\n%s", out)
+	}
+}
