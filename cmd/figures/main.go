@@ -5,10 +5,17 @@
 //
 // Usage:
 //
-//	figures [-quick] [-threads N] [-seed S] [-json] <artifact>
+//	figures [-quick] [-threads N] [-seed S] [-json] [-j N] [-cache DIR] [-verify-determinism] <artifact>
 //
 // Artifacts: table1 table2 fig1 fig4 fig11 fig12 fig13 fig14 flushmode
 // writethrough conflictkinds ablations all
+//
+// Every artifact is a sweep of independent simulations; -j sets the
+// worker-pool parallelism (default GOMAXPROCS), -cache reuses per-run
+// summaries across invocations and artifacts (fig11, fig12, and
+// conflictkinds share the same underlying runs), and -verify-determinism
+// re-executes every run serially and fails on any divergence from the
+// pooled run. Output is byte-identical at every -j setting.
 //
 // With -json, each artifact is emitted as a machine-readable document
 // {"artifact", "tables", "notes"} instead of ASCII tables; "all" emits a
@@ -20,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"persistbarriers/internal/harness"
@@ -33,6 +41,9 @@ func main() {
 	microOps := flag.Int("microops", 0, "override micro-benchmark transactions per thread")
 	appOps := flag.Int("appops", 0, "override app-model memory ops per thread")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of ASCII tables")
+	parallel := flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations per sweep (worker-pool size)")
+	cacheDir := flag.String("cache", "", "cache per-run summaries (content-addressed) in this directory")
+	verifyDet := flag.Bool("verify-determinism", false, "run every sweep job twice (parallel + serial) and fail on divergence")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: figures [flags] <artifact>\nartifacts: %s\n",
 			strings.Join(artifactNames(), " "))
@@ -60,6 +71,9 @@ func main() {
 	if *appOps > 0 {
 		opt.AppOps = *appOps
 	}
+	opt.Parallelism = *parallel
+	opt.CacheDir = *cacheDir
+	opt.VerifyDeterminism = *verifyDet
 
 	name := flag.Arg(0)
 	names := []string{name}

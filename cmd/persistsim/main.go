@@ -11,12 +11,21 @@
 // prints the run summary as machine-readable JSON on stdout. Failure
 // diagnostics go to stderr so stdout stays parseable.
 //
+// Repeat mode: -repeat N runs the same configuration N times with seeds
+// seed, seed+1, ..., seed+N-1 fanned across the -j worker pool (the
+// harness sweep engine), printing one summary line per run in seed order
+// — or a JSON array of run summaries with -json. Observability exports
+// stay per-run: with -trace/-metrics each run gets its own private probe
+// and its own output file (a ".seedN" suffix is inserted before the
+// extension), so concurrent machines never share a sink.
+//
 // Examples:
 //
 //	persistsim -workload queue -barrier LB++ -threads 32 -ops 100
 //	persistsim -workload queue -barrier LB++ -trace out.json -metrics out.csv -window 5000
 //	persistsim -workload ssca2 -barrier LB -bulk 10000 -logging -ops 20000
 //	persistsim -workload hash -barrier NP -json
+//	persistsim -workload queue -barrier LB++ -repeat 8 -j 4 -json
 package main
 
 import (
@@ -25,9 +34,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 
 	"persistbarriers/internal/cache"
+	"persistbarriers/internal/harness"
 	"persistbarriers/internal/machine"
 	"persistbarriers/internal/obs"
 	"persistbarriers/internal/sim"
@@ -52,6 +64,8 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write cycle-windowed metrics to this file (CSV, or JSON if it ends in .json)")
 		window     = flag.Uint64("window", uint64(obs.DefaultWindow), "metrics window size in cycles")
 		jsonOut    = flag.Bool("json", false, "print the run summary as JSON on stdout")
+		repeat     = flag.Int("repeat", 1, "run N times with seeds seed..seed+N-1 (one summary per run)")
+		parallel   = flag.Int("j", runtime.GOMAXPROCS(0), "worker-pool size for -repeat runs")
 	)
 	flag.Parse()
 
@@ -91,6 +105,16 @@ func main() {
 	}
 	if *clflush {
 		cfg.FlushMode = cache.Invalidating
+	}
+
+	if *repeat < 1 {
+		fmt.Fprintln(os.Stderr, "persistsim: -repeat must be >= 1")
+		os.Exit(2)
+	}
+	if *repeat > 1 {
+		runRepeat(cfg, *wl, *threads, *ops, *seed, *repeat, *parallel,
+			*traceOut, *metricsOut, *window, *jsonOut, *verbose)
+		return
 	}
 
 	var (
@@ -199,6 +223,124 @@ func main() {
 	}
 }
 
+// runRepeat executes the same configuration n times with consecutive
+// seeds through the harness sweep engine, keeping observability sinks
+// private per run and reporting results in seed order.
+func runRepeat(cfg machine.Config, wl string, threads, ops int, seed uint64, n, parallel int, traceOut, metricsOut string, window uint64, jsonOut, verbose bool) {
+	gen, isMicro := workload.Microbenchmarks()[wl]
+	prof, isApp := workload.Apps()[wl]
+	if !isMicro && !isApp {
+		fmt.Fprintf(os.Stderr, "persistsim: unknown workload %q\n", wl)
+		os.Exit(2)
+	}
+	type probeSet struct {
+		tracer  *obs.ChromeTracer
+		sampler *obs.Sampler
+	}
+	probes := make([]probeSet, n)
+	specs := make([]workload.Spec, n)
+	jobs := make([]harness.Job, n)
+	for i := 0; i < n; i++ {
+		spec := workload.Spec{Threads: threads, OpsPerThread: ops, Seed: seed + uint64(i)}
+		specs[i] = spec
+		// Each job gets its own machine config and, when exporting, its
+		// own probe + sinks: machines run concurrently and an event
+		// stream shared across runs would interleave.
+		jcfg := cfg
+		var sinks []obs.Sink
+		if traceOut != "" {
+			probes[i].tracer = obs.NewChromeTracer()
+			sinks = append(sinks, probes[i].tracer)
+		}
+		if metricsOut != "" {
+			probes[i].sampler = obs.NewSampler(sim.Cycle(window))
+			sinks = append(sinks, probes[i].sampler)
+		}
+		if len(sinks) > 0 {
+			jcfg.Probe = obs.NewProbe(sinks...)
+		}
+		jobs[i] = harness.Job{
+			Key:     fmt.Sprintf("%s/seed=%d", wl, spec.Seed),
+			TraceID: fmt.Sprintf("%s/threads=%d/ops=%d/seed=%d", wl, threads, ops, spec.Seed),
+			Cfg:     jcfg,
+			Gen: func() (*trace.Program, error) {
+				if isMicro {
+					return gen(spec)
+				}
+				return prof.Generate(spec)
+			},
+		}
+	}
+	results, err := harness.Sweep(jobs, harness.SweepOptions{Parallelism: parallel, AllowDeadlock: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "persistsim:", err)
+		os.Exit(1)
+	}
+
+	deadlocked := false
+	var summaries []runSummary
+	for i, r := range results {
+		if probes[i].tracer != nil {
+			if err := writeFile(seedPath(traceOut, specs[i].Seed), probes[i].tracer.Export); err != nil {
+				fmt.Fprintln(os.Stderr, "persistsim:", err)
+				os.Exit(1)
+			}
+		}
+		if probes[i].sampler != nil {
+			export := probes[i].sampler.WriteCSV
+			if strings.HasSuffix(metricsOut, ".json") {
+				export = probes[i].sampler.WriteJSON
+			}
+			if err := writeFile(seedPath(metricsOut, specs[i].Seed), export); err != nil {
+				fmt.Fprintln(os.Stderr, "persistsim:", err)
+				os.Exit(1)
+			}
+		}
+		if r.Deadlocked {
+			deadlocked = true
+			fmt.Fprintf(os.Stderr, "persistsim: seed %d DEADLOCKED (see §3.3 — enable splitting or fix barrier placement)\n", specs[i].Seed)
+		}
+		if jsonOut {
+			p, err := jobs[i].Gen()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "persistsim:", err)
+				os.Exit(1)
+			}
+			summaries = append(summaries, buildSummary(wl, specs[i], p, cfg, r))
+			continue
+		}
+		status := ""
+		if r.Deadlocked {
+			status = "  DEADLOCKED"
+		}
+		fmt.Printf("seed %-6d %s  %12d cycles  %6d tx (%.3f/kcyc)  %6d epochs  %5.1f%% conflicting%s\n",
+			specs[i].Seed, r.Barrier, uint64(r.ExecCycles), r.Transactions, r.Throughput(),
+			r.Epochs.Persisted, 100*r.Epochs.ConflictingFraction(), status)
+		if verbose {
+			fmt.Printf("           conflicts: %d intra, %d inter, %d eviction; %d line persists\n",
+				r.Conflicts.Intra, r.Conflicts.Inter, r.Conflicts.Eviction, r.PersistedLines)
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(summaries); err != nil {
+			fmt.Fprintln(os.Stderr, "persistsim:", err)
+			os.Exit(1)
+		}
+	}
+	if deadlocked {
+		os.Exit(1)
+	}
+}
+
+// seedPath inserts a ".seedN" tag before the path's extension so per-run
+// exports of a repeat sweep never collide.
+func seedPath(path string, seed uint64) string {
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.seed%d%s", strings.TrimSuffix(path, ext), seed, ext)
+}
+
 // writeFile creates path and streams export into it.
 func writeFile(path string, export func(w io.Writer) error) error {
 	f, err := os.Create(path)
@@ -264,6 +406,17 @@ type runSummary struct {
 }
 
 func printJSON(w *os.File, wl string, spec workload.Spec, p *trace.Program, cfg machine.Config, r *machine.Result) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	s := buildSummary(wl, spec, p, cfg, r)
+	if err := enc.Encode(&s); err != nil {
+		fmt.Fprintln(os.Stderr, "persistsim:", err)
+		os.Exit(1)
+	}
+}
+
+// buildSummary flattens one run into the -json schema.
+func buildSummary(wl string, spec workload.Spec, p *trace.Program, cfg machine.Config, r *machine.Result) runSummary {
 	var s runSummary
 	s.Workload = wl
 	s.Barrier = r.Barrier
@@ -300,10 +453,5 @@ func printJSON(w *os.File, wl string, spec workload.Spec, p *trace.Program, cfg 
 	for cause := machine.StallIntra; cause <= machine.StallWriteBuffer; cause++ {
 		s.Stalls[cause.String()] = uint64(r.StallTotal(cause))
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	if err := enc.Encode(&s); err != nil {
-		fmt.Fprintln(os.Stderr, "persistsim:", err)
-		os.Exit(1)
-	}
+	return s
 }

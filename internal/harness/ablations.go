@@ -35,45 +35,26 @@ type AblationResults struct {
 	GlobalArbiter  float64
 }
 
-// suiteGmeanThroughput runs the BEP suite under cfg and returns the gmean
-// throughput normalized to the baseline results.
-func suiteGmeanThroughput(opt Options, cfg machine.Config, base map[string]*machine.Result) (float64, uint64, error) {
+// suiteGmean reduces one suite's results against the baseline suite:
+// gmean of per-bench normalized throughput plus total IDT fallbacks.
+func suiteGmean(runs, base []*machine.Result) (float64, uint64) {
 	var vals []float64
 	var fallbacks uint64
-	for _, bench := range workload.MicrobenchmarkNames() {
-		p, err := microProgram(bench, opt)
-		if err != nil {
-			return 0, 0, err
-		}
-		r, err := runOne(cfg, p)
-		if err != nil {
-			return 0, 0, fmt.Errorf("%s: %w", bench, err)
-		}
-		vals = append(vals, r.Throughput()/base[bench].Throughput())
-		fallbacks += r.Conflicts.IDTFallbacks
+	for i := range runs {
+		vals = append(vals, runs[i].Throughput()/base[i].Throughput())
+		fallbacks += runs[i].Conflicts.IDTFallbacks
 	}
-	return stats.Gmean(vals), fallbacks, nil
+	return stats.Gmean(vals), fallbacks
 }
 
 // RunAblations executes the design-choice sweeps. The baseline for every
-// normalization is plain LB at the default hardware sizing.
+// normalization is plain LB at the default hardware sizing. The entire
+// grid — baseline suite plus every (knob, value, bench) combination — is
+// submitted as one sweep so the worker pool sees maximal parallelism.
 func RunAblations(opt Options) (*AblationResults, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	base := make(map[string]*machine.Result)
-	for _, bench := range workload.MicrobenchmarkNames() {
-		p, err := microProgram(bench, opt)
-		if err != nil {
-			return nil, err
-		}
-		r, err := runOne(bepConfig(opt.Threads, false, false), p)
-		if err != nil {
-			return nil, err
-		}
-		base[bench] = r
-	}
-
 	out := &AblationResults{
 		Opt:              opt,
 		DepRegs:          []int{0, 1, 4, 16},
@@ -85,49 +66,60 @@ func RunAblations(opt Options) (*AblationResults, error) {
 		BufferThroughput: make(map[int]float64),
 	}
 
+	benches := workload.MicrobenchmarkNames()
+	var jobs []Job
+	addSuite := func(label string, cfg machine.Config) {
+		for _, bench := range benches {
+			jobs = append(jobs, microJob(label+"/"+bench, bench, opt, cfg))
+		}
+	}
+	addSuite("base", bepConfig(opt.Threads, false, false))
 	for _, regs := range out.DepRegs {
 		cfg := bepConfig(opt.Threads, true, true)
 		cfg.Epoch.DepRegs = regs
-		g, fb, err := suiteGmeanThroughput(opt, cfg, base)
-		if err != nil {
-			return nil, fmt.Errorf("depregs=%d: %w", regs, err)
-		}
-		out.DepRegThroughput[regs] = g
-		out.DepRegFallbacks[regs] = fb
+		addSuite(fmt.Sprintf("depregs=%d", regs), cfg)
 	}
-
 	for _, w := range out.Windows {
 		cfg := bepConfig(opt.Threads, true, true)
 		cfg.Epoch.MaxInFlight = w
-		g, _, err := suiteGmeanThroughput(opt, cfg, base)
-		if err != nil {
-			return nil, fmt.Errorf("window=%d: %w", w, err)
-		}
-		out.WindowThroughput[w] = g
+		addSuite(fmt.Sprintf("window=%d", w), cfg)
 	}
-
 	for _, wb := range out.Buffers {
 		cfg := bepConfig(opt.Threads, true, true)
 		cfg.WriteBuffer = wb
-		g, _, err := suiteGmeanThroughput(opt, cfg, base)
-		if err != nil {
-			return nil, fmt.Errorf("writebuffer=%d: %w", wb, err)
-		}
-		out.BufferThroughput[wb] = g
+		addSuite(fmt.Sprintf("writebuffer=%d", wb), cfg)
 	}
+	addSuite("arbiter=percore", bepConfig(opt.Threads, true, true))
+	gcfg := bepConfig(opt.Threads, true, true)
+	gcfg.GlobalArbiter = true
+	addSuite("arbiter=global", gcfg)
 
-	perCore, _, err := suiteGmeanThroughput(opt, bepConfig(opt.Threads, true, true), base)
+	results, err := Sweep(jobs, opt.sweepOptions())
 	if err != nil {
 		return nil, err
 	}
-	out.PerCoreArbiter = perCore
-	gcfg := bepConfig(opt.Threads, true, true)
-	gcfg.GlobalArbiter = true
-	global, _, err := suiteGmeanThroughput(opt, gcfg, base)
-	if err != nil {
-		return nil, fmt.Errorf("global arbiter: %w", err)
+	cur := 0
+	nextSuite := func() []*machine.Result {
+		s := results[cur : cur+len(benches)]
+		cur += len(benches)
+		return s
 	}
-	out.GlobalArbiter = global
+	base := nextSuite()
+	for _, regs := range out.DepRegs {
+		g, fb := suiteGmean(nextSuite(), base)
+		out.DepRegThroughput[regs] = g
+		out.DepRegFallbacks[regs] = fb
+	}
+	for _, w := range out.Windows {
+		g, _ := suiteGmean(nextSuite(), base)
+		out.WindowThroughput[w] = g
+	}
+	for _, wb := range out.Buffers {
+		g, _ := suiteGmean(nextSuite(), base)
+		out.BufferThroughput[wb] = g
+	}
+	out.PerCoreArbiter, _ = suiteGmean(nextSuite(), base)
+	out.GlobalArbiter, _ = suiteGmean(nextSuite(), base)
 	return out, nil
 }
 

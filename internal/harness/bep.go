@@ -1,8 +1,6 @@
 package harness
 
 import (
-	"fmt"
-
 	"persistbarriers/internal/epoch"
 	"persistbarriers/internal/machine"
 	"persistbarriers/internal/stats"
@@ -18,6 +16,8 @@ type BEPResults struct {
 }
 
 // RunBEP executes the buffered-epoch-persistency study (Section 7.1).
+// Every (bench, variant) run is independent, so the whole grid fans out
+// across the sweep worker pool.
 func RunBEP(opt Options) (*BEPResults, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
@@ -27,22 +27,26 @@ func RunBEP(opt Options) (*BEPResults, error) {
 		Benches: workload.MicrobenchmarkNames(),
 		Results: make(map[string]map[string]*machine.Result),
 	}
+	var jobs []Job
 	for _, bench := range out.Benches {
-		out.Results[bench] = make(map[string]*machine.Result)
 		for _, variant := range BEPVariants {
 			idt, pf, err := variantFlags(variant)
 			if err != nil {
 				return nil, err
 			}
-			p, err := microProgram(bench, opt)
-			if err != nil {
-				return nil, err
-			}
-			r, err := runOne(bepConfig(opt.Threads, idt, pf), p)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", bench, variant, err)
-			}
-			out.Results[bench][variant] = r
+			jobs = append(jobs, microJob(bench+"/"+variant, bench, opt, bepConfig(opt.Threads, idt, pf)))
+		}
+	}
+	results, err := Sweep(jobs, opt.sweepOptions())
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, bench := range out.Benches {
+		out.Results[bench] = make(map[string]*machine.Result)
+		for _, variant := range BEPVariants {
+			out.Results[bench][variant] = results[i]
+			i++
 		}
 	}
 	return out, nil

@@ -53,27 +53,26 @@ func RunFig13(opt Options) (*EpochSweepResults, error) {
 		NP:    make(map[string]*machine.Result),
 		Runs:  make(map[string]map[int]*machine.Result),
 	}
+	var jobs []Job
 	for _, app := range out.Apps {
-		p, err := appProgram(app, opt)
-		if err != nil {
-			return nil, err
+		jobs = append(jobs, appJob(app+"/NP", app, opt, npConfig(opt.Threads)))
+		for _, size := range out.Sizes {
+			jobs = append(jobs, appJob(fmt.Sprintf("%s/LB%d", app, size), app, opt,
+				bspConfig(opt.Threads, size, false, false, true)))
 		}
-		np, err := runOne(npConfig(opt.Threads), p)
-		if err != nil {
-			return nil, fmt.Errorf("%s/NP: %w", app, err)
-		}
-		out.NP[app] = np
+	}
+	results, err := Sweep(jobs, opt.sweepOptions())
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, app := range out.Apps {
+		out.NP[app] = results[i]
+		i++
 		out.Runs[app] = make(map[int]*machine.Result)
 		for _, size := range out.Sizes {
-			p, err := appProgram(app, opt)
-			if err != nil {
-				return nil, err
-			}
-			r, err := runOne(bspConfig(opt.Threads, size, false, false, true), p)
-			if err != nil {
-				return nil, fmt.Errorf("%s/LB%d: %w", app, size, err)
-			}
-			out.Runs[app][size] = r
+			out.Runs[app][size] = results[i]
+			i++
 		}
 	}
 	return out, nil
@@ -143,32 +142,31 @@ func RunFig14(opt Options) (*BSPResults, error) {
 		NP:   make(map[string]*machine.Result),
 		Runs: make(map[string]map[string]*machine.Result),
 	}
+	var jobs []Job
 	for _, app := range out.Apps {
-		p, err := appProgram(app, opt)
-		if err != nil {
-			return nil, err
-		}
-		np, err := runOne(npConfig(opt.Threads), p)
-		if err != nil {
-			return nil, fmt.Errorf("%s/NP: %w", app, err)
-		}
-		out.NP[app] = np
-		out.Runs[app] = make(map[string]*machine.Result)
+		jobs = append(jobs, appJob(app+"/NP", app, opt, npConfig(opt.Threads)))
 		for _, variant := range BSPVariants {
 			idt, pf, err := variantFlags(variant)
 			if err != nil {
 				return nil, err
 			}
 			logging := variant != "LB++NOLOG"
-			p, err := appProgram(app, opt)
-			if err != nil {
-				return nil, err
-			}
-			r, err := runOne(bspConfig(opt.Threads, opt.BulkEpoch, idt, pf, logging), p)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", app, variant, err)
-			}
-			out.Runs[app][variant] = r
+			jobs = append(jobs, appJob(app+"/"+variant, app, opt,
+				bspConfig(opt.Threads, opt.BulkEpoch, idt, pf, logging)))
+		}
+	}
+	results, err := Sweep(jobs, opt.sweepOptions())
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, app := range out.Apps {
+		out.NP[app] = results[i]
+		i++
+		out.Runs[app] = make(map[string]*machine.Result)
+		for _, variant := range BSPVariants {
+			out.Runs[app][variant] = results[i]
+			i++
 		}
 	}
 	return out, nil
@@ -248,25 +246,18 @@ func RunWriteThrough(opt Options) (*WriteThroughResults, error) {
 	wtCfg := machine.DefaultConfig()
 	wtCfg.Cores = opt.Threads
 	wtCfg.Model = machine.WT
+	var jobs []Job
 	for _, app := range out.Apps {
-		p, err := appProgram(app, opt)
-		if err != nil {
-			return nil, err
-		}
-		np, err := runOne(npConfig(opt.Threads), p)
-		if err != nil {
-			return nil, err
-		}
-		out.NP[app] = np
-		p, err = appProgram(app, opt)
-		if err != nil {
-			return nil, err
-		}
-		wt, err := runOne(wtCfg, p)
-		if err != nil {
-			return nil, err
-		}
-		out.WT[app] = wt
+		jobs = append(jobs, appJob(app+"/NP", app, opt, npConfig(opt.Threads)))
+		jobs = append(jobs, appJob(app+"/WT", app, opt, wtCfg))
+	}
+	results, err := Sweep(jobs, opt.sweepOptions())
+	if err != nil {
+		return nil, err
+	}
+	for i, app := range out.Apps {
+		out.NP[app] = results[2*i]
+		out.WT[app] = results[2*i+1]
 	}
 	return out, nil
 }

@@ -192,26 +192,25 @@ func RunFlushMode(opt Options) (*FlushModeResults, error) {
 		Clwb:    make(map[string]*machine.Result),
 		Clflush: make(map[string]*machine.Result),
 	}
+	var jobs []Job
 	for _, bench := range out.Benches {
 		for _, invalidating := range []bool{false, true} {
-			p, err := microProgram(bench, opt)
-			if err != nil {
-				return nil, err
-			}
 			cfg := bepConfig(opt.Threads, true, true)
+			key := bench + "/clwb"
 			if invalidating {
 				cfg.FlushMode = 1 // cache.Invalidating
+				key = bench + "/clflush"
 			}
-			r, err := runOne(cfg, p)
-			if err != nil {
-				return nil, err
-			}
-			if invalidating {
-				out.Clflush[bench] = r
-			} else {
-				out.Clwb[bench] = r
-			}
+			jobs = append(jobs, microJob(key, bench, opt, cfg))
 		}
+	}
+	results, err := Sweep(jobs, opt.sweepOptions())
+	if err != nil {
+		return nil, err
+	}
+	for i, bench := range out.Benches {
+		out.Clwb[bench] = results[2*i]
+		out.Clflush[bench] = results[2*i+1]
 	}
 	return out, nil
 }

@@ -32,6 +32,19 @@ type Options struct {
 	BulkEpoch int
 	// Seed drives workload generation.
 	Seed uint64
+
+	// Parallelism is the sweep worker-pool size: how many independent
+	// simulations run concurrently inside each RunFig*/RunAblations
+	// entry point. <= 0 means GOMAXPROCS. Results are identical at any
+	// setting — runs are independent and collected in submission order.
+	Parallelism int
+	// CacheDir, when non-empty, caches per-run summaries keyed by the
+	// (config, trace) content hash, so regenerating one figure does not
+	// re-simulate runs another figure already paid for.
+	CacheDir string
+	// VerifyDeterminism re-executes every sweep job serially and fails
+	// on any divergence from the pooled run (see SweepOptions).
+	VerifyDeterminism bool
 }
 
 // Defaults returns the paper-faithful option set. A full figure
@@ -144,4 +157,26 @@ func appProgram(name string, opt Options) (*trace.Program, error) {
 		return nil, fmt.Errorf("harness: unknown app %q", name)
 	}
 	return prof.Generate(workload.Spec{Threads: opt.Threads, OpsPerThread: opt.AppOps, Seed: opt.Seed})
+}
+
+// microJob builds one sweep job over a micro-benchmark trace.
+func microJob(key, bench string, opt Options, cfg machine.Config) Job {
+	return Job{
+		Key: key,
+		TraceID: fmt.Sprintf("micro:%s/threads=%d/ops=%d/seed=%d",
+			bench, opt.Threads, opt.MicroOps, opt.Seed),
+		Cfg: cfg,
+		Gen: func() (*trace.Program, error) { return microProgram(bench, opt) },
+	}
+}
+
+// appJob builds one sweep job over a BSP app-model trace.
+func appJob(key, app string, opt Options, cfg machine.Config) Job {
+	return Job{
+		Key: key,
+		TraceID: fmt.Sprintf("app:%s/threads=%d/ops=%d/seed=%d",
+			app, opt.Threads, opt.AppOps, opt.Seed),
+		Cfg: cfg,
+		Gen: func() (*trace.Program, error) { return appProgram(app, opt) },
+	}
 }

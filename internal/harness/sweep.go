@@ -1,0 +1,244 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"persistbarriers/internal/machine"
+	"persistbarriers/internal/stats"
+	"persistbarriers/internal/trace"
+)
+
+// Job is one independent simulation of a sweep: a machine configuration
+// plus a deterministic program generator. Jobs never share mutable state —
+// each run builds its own machine, and Gen regenerates the program so two
+// workers can execute the same job without touching a shared trace.
+type Job struct {
+	// Key names the job in error messages and logs ("queue/LB++").
+	Key string
+	// TraceID canonically describes the program Gen regenerates
+	// ("micro:queue/threads=8/ops=15/seed=42"); together with the config
+	// fingerprint it forms the cache identity, so it must capture every
+	// input that shapes the trace.
+	TraceID string
+	// Cfg is the machine configuration. Cfg.Probe, when set, must be
+	// private to this job: probes receive the machine's event stream and
+	// sharing one across concurrent runs would interleave streams.
+	Cfg machine.Config
+	// Gen deterministically regenerates the job's program.
+	Gen func() (*trace.Program, error)
+}
+
+// SweepOptions controls a Sweep run.
+type SweepOptions struct {
+	// Parallelism is the worker count; <= 0 means GOMAXPROCS.
+	Parallelism int
+	// CacheDir, when non-empty, is a directory of content-addressed run
+	// summaries: a job whose (config, trace) hash is present is loaded
+	// instead of simulated. Only probe-free, history-free runs are
+	// cacheable (see cacheable).
+	CacheDir string
+	// VerifyDeterminism re-executes every job serially after the pooled
+	// pass and fails on any divergence between the two Results — the
+	// bit-for-bit guarantee the recovery checker and golden tests assume.
+	// The cache is bypassed so both passes really simulate.
+	VerifyDeterminism bool
+	// AllowDeadlock returns deadlocked Results to the caller instead of
+	// failing the sweep (cmd/persistsim reports them per run).
+	AllowDeadlock bool
+}
+
+// workers resolves the effective pool size for n jobs.
+func (o SweepOptions) workers(n int) int {
+	p := o.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// sweepOptions projects the experiment Options onto the sweep engine.
+func (o Options) sweepOptions() SweepOptions {
+	return SweepOptions{
+		Parallelism:       o.Parallelism,
+		CacheDir:          o.CacheDir,
+		VerifyDeterminism: o.VerifyDeterminism,
+	}
+}
+
+// Sweep fans the jobs across a worker pool and returns their Results in
+// submission order. Every job is independent (own machine, own program),
+// so the only shared state is the result slice, written at distinct
+// indices. On error the sweep still drains remaining workers and reports
+// the failure of the lowest-indexed failing job, so the outcome is
+// deterministic regardless of scheduling.
+func Sweep(jobs []Job, opt SweepOptions) ([]*machine.Result, error) {
+	results := make([]*machine.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < opt.workers(len(jobs)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(jobs) {
+					return
+				}
+				results[i], errs[i] = runJob(jobs[i], opt)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", jobs[i].Key, err)
+		}
+	}
+	if opt.VerifyDeterminism {
+		if err := verifyDeterminism(jobs, results, opt); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// verifyDeterminism re-runs every job on the calling goroutine (the
+// serial reference) and compares full-Result fingerprints — covering
+// every counter, per-core stall vector, and, when recorded, the persist
+// log — against the pooled pass.
+func verifyDeterminism(jobs []Job, pooled []*machine.Result, opt SweepOptions) error {
+	serial := SweepOptions{AllowDeadlock: opt.AllowDeadlock}
+	for i, job := range jobs {
+		ref, err := runJob(job, serial)
+		if err != nil {
+			return fmt.Errorf("%s: serial verification run: %w", job.Key, err)
+		}
+		fp, err := stats.Fingerprint(pooled[i])
+		if err != nil {
+			return fmt.Errorf("%s: %w", job.Key, err)
+		}
+		fr, err := stats.Fingerprint(ref)
+		if err != nil {
+			return fmt.Errorf("%s: %w", job.Key, err)
+		}
+		if fp != fr {
+			return fmt.Errorf("harness: determinism violation in %s: parallel run %s != serial run %s",
+				job.Key, fp[:12], fr[:12])
+		}
+	}
+	return nil
+}
+
+// runJob executes (or loads from cache) one job.
+func runJob(job Job, opt SweepOptions) (*machine.Result, error) {
+	useCache := opt.CacheDir != "" && !opt.VerifyDeterminism && cacheable(job.Cfg)
+	var path string
+	if useCache {
+		path = filepath.Join(opt.CacheDir, cacheKey(job)+".json")
+		if r, ok := loadCached(path); ok {
+			return r, nil
+		}
+	}
+	p, err := job.Gen()
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(job.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Load(p); err != nil {
+		return nil, err
+	}
+	r, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	if r.Deadlocked && !opt.AllowDeadlock {
+		return nil, fmt.Errorf("harness: %s run deadlocked", job.Cfg.BarrierName())
+	}
+	if useCache && r.Finished {
+		storeCached(path, r)
+	}
+	return r, nil
+}
+
+// cacheable rejects configurations whose Results carry material the cache
+// does not replay (probe event streams, recovery histories, per-op
+// timelines, debug traces).
+func cacheable(cfg machine.Config) bool {
+	return cfg.Probe == nil && !cfg.RecordHistory && !cfg.RecordOpTimes && cfg.DebugLine == 0
+}
+
+// cacheFormat versions the cached-Result schema; bump it whenever
+// machine.Result changes shape so stale entries miss instead of
+// deserializing into garbage.
+const cacheFormat = "v1"
+
+// cacheKey is the content hash of everything that determines a job's
+// Result: the full machine configuration and the canonical trace
+// descriptor.
+func cacheKey(job Job) string {
+	cfg := job.Cfg
+	cfg.Probe = nil
+	return stats.MustFingerprint(struct {
+		Format string
+		Cfg    machine.Config
+		Trace  string
+	}{cacheFormat, cfg, job.TraceID})
+}
+
+// loadCached reads one cached Result; any failure (missing, truncated,
+// schema drift) is a cache miss, never an error.
+func loadCached(path string) (*machine.Result, bool) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var r machine.Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, false
+	}
+	return &r, true
+}
+
+// storeCached writes the Result atomically (temp file + rename) so
+// concurrent workers and interrupted runs can never leave a torn entry.
+// Cache writes are best-effort: a read-only directory degrades to
+// simulation, not failure.
+func storeCached(path string, r *machine.Result) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".sweep-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+	}
+}

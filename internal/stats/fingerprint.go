@@ -1,0 +1,32 @@
+package stats
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Fingerprint returns a stable hex digest of v's canonical JSON encoding.
+// encoding/json sorts map keys, so two structurally equal values always
+// produce the same digest — the property the sweep engine's result cache
+// and determinism verifier rely on. Values that cannot be marshalled
+// (channels, funcs) are rejected with an error.
+func Fingerprint(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("stats: fingerprint: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// MustFingerprint is Fingerprint for values known to be marshallable; it
+// panics on error (a programming bug, not a runtime condition).
+func MustFingerprint(v any) string {
+	f, err := Fingerprint(v)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

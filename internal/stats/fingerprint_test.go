@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFingerprintStability(t *testing.T) {
+	type doc struct {
+		A int
+		M map[int]string
+	}
+	v := doc{A: 7, M: map[int]string{3: "c", 1: "a", 2: "b"}}
+	f1, err := Fingerprint(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Fingerprint(doc{A: 7, M: map[int]string{1: "a", 2: "b", 3: "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Fatalf("equal values fingerprint differently: %s vs %s", f1, f2)
+	}
+	if len(f1) != 64 || strings.ToLower(f1) != f1 {
+		t.Fatalf("fingerprint not lowercase sha256 hex: %q", f1)
+	}
+	f3, err := Fingerprint(doc{A: 8, M: v.M})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3 == f1 {
+		t.Fatal("different values collided")
+	}
+}
+
+func TestFingerprintUnmarshalable(t *testing.T) {
+	if _, err := Fingerprint(make(chan int)); err == nil {
+		t.Fatal("channel accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustFingerprint did not panic")
+		}
+	}()
+	MustFingerprint(make(chan int))
+}

@@ -1,0 +1,76 @@
+package trace_test
+
+import (
+	"testing"
+
+	"persistbarriers/internal/machine"
+	"persistbarriers/internal/recovery"
+	"persistbarriers/internal/trace"
+)
+
+// FuzzTraceInterleaver feeds arbitrary byte streams through
+// trace.Interleave into a small simulated machine and asserts the three
+// properties malformed op sequences must never break:
+//
+//  1. the machine does not panic,
+//  2. it terminates — circular epoch dependences with splitting disabled
+//     must trip the deadlock detector (Result.Deadlocked), not hang, and
+//  3. whatever instant the run ends at, the durable image satisfies the
+//     DESIGN §5 ordering and prefix-closure invariants.
+//
+// The first byte picks the machine shape (core count, IDT/PF, whether
+// the §3.3 deadlock-avoidance split is enabled); the rest is the op
+// stream. Run the smoke in CI with -fuzztime 10s; run longer locally to
+// dig for protocol corners.
+func FuzzTraceInterleaver(f *testing.F) {
+	f.Add([]byte{})
+	// Barrier-heavy two-core ping-pong.
+	f.Add([]byte{0x01, 0x00, 5, 0x06, 0, 0x08, 5, 0x0e, 0, 0x02, 5, 0x0a, 5})
+	// The Figure 5(a) shape: cross-thread conflicts inside ongoing epochs
+	// (first byte selects split-disabled, exercising deadlock detection).
+	f.Add([]byte{0x20, 0x00, 0, 0x08, 1, 0x05, 50, 0x0d, 50, 0x02, 1, 0x0a, 0, 0x00, 2, 0x08, 3})
+	// Compute bursts, transaction markers, private-line reuse.
+	f.Add([]byte{0x13, 0x05, 200, 0x03, 4, 0x03, 4, 0x07, 0, 0x0c, 4, 0x0f, 0, 0x06, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 2048 {
+			data = data[:2048] // bound per-exec simulation cost
+		}
+		var shape byte
+		if len(data) > 0 {
+			shape, data = data[0], data[1:]
+		}
+		cores := 1 + int(shape&0x03)
+		cfg := machine.DefaultConfig()
+		cfg.Cores = cores
+		cfg.LLCBanks = 4
+		cfg.LLCSets = 64
+		cfg.L1Sets = 16
+		cfg.Model = machine.LB
+		cfg.IDT = shape&0x04 != 0
+		cfg.PF = shape&0x08 != 0
+		cfg.EnableSplit = shape&0x20 == 0
+		cfg.RecordHistory = true
+
+		p := trace.Interleave(cores, data)
+		if p.Ops() == 0 {
+			return // machine rejects empty programs by design
+		}
+		m, err := machine.New(cfg)
+		if err != nil {
+			t.Fatalf("config rejected: %v", err)
+		}
+		if err := m.Load(p); err != nil {
+			t.Fatalf("interleaved program rejected: %v", err)
+		}
+		r, err := m.Run()
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if !r.Finished && !r.Deadlocked {
+			t.Fatal("run neither finished nor flagged deadlocked")
+		}
+		if err := recovery.CheckAll(r.Histories, r.Image, nil, false); err != nil {
+			t.Fatalf("invariants violated (deadlocked=%v): %v", r.Deadlocked, err)
+		}
+	})
+}
