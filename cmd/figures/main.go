@@ -54,6 +54,19 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Reject bad inputs before any sweep spins up workers.
+	if *threads < 0 || *threads > 32 {
+		fmt.Fprintf(os.Stderr, "figures: -threads must be in 1..32 (or 0 for the option set's default), got %d\n", *threads)
+		os.Exit(2)
+	}
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "figures: -j must be >= 1, got %d\n", *parallel)
+		os.Exit(2)
+	}
+	if *microOps < 0 || *appOps < 0 {
+		fmt.Fprintf(os.Stderr, "figures: -microops and -appops must be >= 0\n")
+		os.Exit(2)
+	}
 
 	opt := harness.Defaults()
 	if *quick {
@@ -76,6 +89,18 @@ func main() {
 	opt.VerifyDeterminism = *verifyDet
 
 	name := flag.Arg(0)
+	known := false
+	for _, a := range artifactNames() {
+		if a == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "figures: unknown artifact %q (choose from: %s)\n",
+			name, strings.Join(artifactNames(), " "))
+		os.Exit(2)
+	}
 	names := []string{name}
 	if name == "all" {
 		names = names[:0]

@@ -69,6 +69,24 @@ func main() {
 	)
 	flag.Parse()
 
+	// Reject bad inputs before any machine or worker pool is built.
+	if *threads < 1 || *threads > 32 {
+		fmt.Fprintf(os.Stderr, "persistsim: -threads must be in 1..32, got %d\n", *threads)
+		os.Exit(2)
+	}
+	if *ops < 1 {
+		fmt.Fprintf(os.Stderr, "persistsim: -ops must be >= 1, got %d\n", *ops)
+		os.Exit(2)
+	}
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "persistsim: -j must be >= 1, got %d\n", *parallel)
+		os.Exit(2)
+	}
+	if *bulk < 0 {
+		fmt.Fprintf(os.Stderr, "persistsim: -bulk must be >= 0, got %d\n", *bulk)
+		os.Exit(2)
+	}
+
 	cfg := machine.DefaultConfig()
 	cfg.Cores = *threads
 	switch strings.ToUpper(*barrier) {

@@ -1,0 +1,404 @@
+// Command pmkvd serves the pmkv durable key-value engine over TCP. Each
+// connection is one client session (its operations execute in program
+// order on a simulated core); a committer goroutine batches whatever
+// requests are pending into one group commit, so concurrent connections
+// become concurrent cores contending on bucket heads — inter-thread IDT
+// edges, resolved by the paper's barrier hardware.
+//
+// Protocol: one JSON object per line.
+//
+//	-> {"op":"put","key":"user:7","value":"alice"}
+//	<- {"ok":true,"found":true}
+//	-> {"op":"get","key":"user:7"}
+//	<- {"ok":true,"found":true,"value":"alice"}
+//	-> {"op":"del","key":"user:7"}
+//	<- {"ok":true,"found":true}
+//	-> {"op":"stats"}
+//	<- {"ok":true,"stats":{"cycle":...,"epochs_persisted":...,...}}
+//
+// On SIGINT/SIGTERM the server stops accepting, drains the engine (every
+// outstanding epoch persists), verifies the recovery invariants against
+// the final NVRAM image, and prints the report. With -crash-at N the
+// simulated machine loses power at cycle N mid-service; the shutdown path
+// then verifies the crash image instead — the full Figure 10 story, live.
+//
+// -selfcheck N runs the deterministic crash-injection sweep (N seeded
+// crash instants under concurrent scripted load) without any networking
+// and exits nonzero on the first invariant violation; CI uses it as the
+// crash smoke test.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"persistbarriers/internal/obs"
+	"persistbarriers/internal/pmkv"
+	"persistbarriers/internal/sim"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7070", "listen address")
+		cores   = flag.Int("cores", 4, "simulated cores (1..32); sessions map onto cores round-robin")
+		buckets = flag.Int("buckets", 64, "hash-table buckets")
+		gap     = flag.Uint64("gap", 200, "simulated cycles between request batches")
+		crashAt = flag.Uint64("crash-at", 0, "simulated power loss at this cycle (0 = never)")
+
+		selfcheck = flag.Int("selfcheck", 0, "run N crash-injection instants and exit (no server)")
+		sessions  = flag.Int("sessions", 6, "selfcheck: concurrent scripted sessions")
+		rounds    = flag.Int("rounds", 24, "selfcheck: request batches per session")
+		keyspace  = flag.Int("keyspace", 16, "selfcheck: distinct keys")
+		seed      = flag.Uint64("seed", 42, "selfcheck: workload seed")
+	)
+	flag.Parse()
+
+	// Fail fast on nonsense before any machine is built.
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "pmkvd: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *cores < 1 || *cores > 32 {
+		fail("-cores must be in 1..32, got %d", *cores)
+	}
+	if *buckets < 1 {
+		fail("-buckets must be >= 1, got %d", *buckets)
+	}
+	if *selfcheck < 0 {
+		fail("-selfcheck must be >= 0, got %d", *selfcheck)
+	}
+	if *sessions < 1 {
+		fail("-sessions must be >= 1, got %d", *sessions)
+	}
+	if *rounds < 1 {
+		fail("-rounds must be >= 1, got %d", *rounds)
+	}
+	if *keyspace < 1 {
+		fail("-keyspace must be >= 1, got %d", *keyspace)
+	}
+
+	mcfg := pmkv.SmallMachine()
+	mcfg.Cores = *cores
+	cfg := pmkv.Config{
+		Machine:  mcfg,
+		Buckets:  *buckets,
+		BatchGap: sim.Cycle(*gap),
+		CrashAt:  sim.Cycle(*crashAt),
+	}
+	spec := pmkv.ScriptSpec{
+		Sessions: *sessions,
+		Rounds:   *rounds,
+		KeySpace: *keyspace,
+		Seed:     *seed,
+	}
+
+	if *selfcheck > 0 {
+		if err := runSelfcheck(cfg, spec, *selfcheck); err != nil {
+			fmt.Fprintln(os.Stderr, "pmkvd: selfcheck FAILED:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := serve(*addr, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "pmkvd:", err)
+		os.Exit(1)
+	}
+}
+
+// runSelfcheck executes the crash-injection sweep: one clean run to size
+// the cycle span, then n evenly spaced crash instants, each fully
+// verified (epoch order, prefix closure, KV atomicity, session order) and
+// checked for deterministic recovery.
+func runSelfcheck(cfg pmkv.Config, spec pmkv.ScriptSpec, n int) error {
+	cfg.CrashAt = 0
+	clean, err := pmkv.RunScript(cfg, spec)
+	if err != nil {
+		return fmt.Errorf("clean run: %w", err)
+	}
+	fmt.Printf("clean run: %d cycles, %d publishes, %d epochs, fingerprint %.16s\n",
+		clean.Cycles, clean.Report.TotalPublishes, clean.Report.Epochs, clean.Report.Fingerprint)
+	crashed := 0
+	for i, at := range pmkv.SweepInstants(clean.Cycles, n) {
+		ccfg := cfg
+		ccfg.CrashAt = at
+		out, err := pmkv.RunScript(ccfg, spec)
+		if err != nil {
+			return fmt.Errorf("crash %d/%d at cycle %d: %w", i+1, n, at, err)
+		}
+		again, err := pmkv.RunScript(ccfg, spec)
+		if err != nil {
+			return fmt.Errorf("crash %d/%d at cycle %d (replay): %w", i+1, n, at, err)
+		}
+		if out.Report.Fingerprint != again.Report.Fingerprint {
+			return fmt.Errorf("crash %d/%d at cycle %d: recovery not deterministic", i+1, n, at)
+		}
+		if out.Crashed {
+			crashed++
+		}
+	}
+	fmt.Printf("selfcheck OK: %d instants (%d mid-run crashes), all invariants held, recovery deterministic\n",
+		n, crashed)
+	return nil
+}
+
+// request is the wire format of one client line.
+type request struct {
+	Op    string `json:"op"`
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// response is the wire format of one server line.
+type response struct {
+	OK    bool              `json:"ok"`
+	Found bool              `json:"found,omitempty"`
+	Value string            `json:"value,omitempty"`
+	Error string            `json:"error,omitempty"`
+	Stats *obs.ServiceStats `json:"stats,omitempty"`
+}
+
+// job carries one request from a connection to the committer.
+type job struct {
+	req   pmkv.Request
+	reply chan jobReply
+}
+
+type jobReply struct {
+	resp pmkv.Response
+	err  error
+}
+
+// server glues the listener, the per-connection readers, and the single
+// committer goroutine that owns the engine's forward progress.
+type server struct {
+	engine    *pmkv.Engine
+	collector *obs.Collector
+
+	jobs chan job
+
+	mu       sync.Mutex
+	conns    map[net.Conn]bool
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+func serve(addr string, cfg pmkv.Config) error {
+	collector := obs.NewCollector(0)
+	cfg.Machine.Probe = obs.NewProbe(collector)
+	engine, err := pmkv.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s := &server{
+		engine:    engine,
+		collector: collector,
+		jobs:      make(chan job, 256),
+		conns:     make(map[net.Conn]bool),
+	}
+
+	committerDone := make(chan struct{})
+	go func() {
+		defer close(committerDone)
+		s.commitLoop()
+	}()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "pmkvd: draining...")
+		s.beginDrain(ln)
+	}()
+
+	fmt.Printf("pmkvd: serving on %s (%d cores, %s barrier, %d buckets)\n",
+		ln.Addr(), cfg.Machine.Cores, cfg.Machine.BarrierName(), cfg.Buckets)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			break // listener closed: drain begins
+		}
+		if !s.track(conn) {
+			conn.Close()
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+
+	s.beginDrain(ln) // idempotent; also covers listener errors
+	s.wg.Wait()
+	close(s.jobs)
+	<-committerDone
+
+	return s.finalReport()
+}
+
+// track registers a connection unless the server is draining.
+func (s *server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.conns[conn] = true
+	return true
+}
+
+func (s *server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// beginDrain stops accepting and unblocks connection readers.
+func (s *server) beginDrain(ln net.Listener) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// commitLoop is the engine's single writer: it gathers every job waiting
+// on the channel into one batch (group commit) and applies it. Requests
+// arriving while a batch runs queue up for the next one.
+func (s *server) commitLoop() {
+	for first := range s.jobs {
+		batch := []job{first}
+	gather:
+		for {
+			select {
+			case j, ok := <-s.jobs:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, j)
+			default:
+				break gather
+			}
+		}
+		reqs := make([]pmkv.Request, len(batch))
+		for i, j := range batch {
+			reqs[i] = j.req
+		}
+		resps, err := s.engine.Apply(reqs)
+		for i, j := range batch {
+			r := jobReply{err: err}
+			if err == nil {
+				r.resp = resps[i]
+			}
+			j.reply <- r
+		}
+	}
+}
+
+// handle runs one connection: a session bound to a core, requests in
+// program order.
+func (s *server) handle(conn net.Conn) {
+	defer s.untrack(conn)
+	defer conn.Close()
+	sess := s.engine.NewSession()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req request
+		if err := json.Unmarshal(line, &req); err != nil {
+			enc.Encode(response{Error: "bad request: " + err.Error()})
+			continue
+		}
+		resp := s.dispatch(sess, req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *server) dispatch(sess *pmkv.Session, req request) response {
+	var op pmkv.Op
+	switch req.Op {
+	case "get":
+		op = pmkv.Get
+	case "put":
+		op = pmkv.Put
+	case "del":
+		op = pmkv.Delete
+	case "stats":
+		st := s.collector.Snapshot()
+		return response{OK: true, Stats: &st}
+	default:
+		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+	if req.Key == "" {
+		return response{Error: "missing key"}
+	}
+	j := job{
+		req:   pmkv.Request{Sess: sess, Op: op, Key: req.Key, Value: []byte(req.Value)},
+		reply: make(chan jobReply, 1),
+	}
+	s.jobs <- j
+	r := <-j.reply
+	if r.err != nil {
+		return response{Error: r.err.Error()}
+	}
+	return response{OK: true, Found: r.resp.Found, Value: string(r.resp.Value)}
+}
+
+// finalReport closes the engine (drain, or crash snapshot if the machine
+// lost power), verifies every recovery invariant, and prints the outcome.
+func (s *server) finalReport() error {
+	crashed := s.engine.Crashed()
+	res, err := s.engine.Close()
+	if err != nil {
+		return err
+	}
+	rep, err := s.engine.Verify(res)
+	if err != nil {
+		return fmt.Errorf("recovery verification FAILED: %w", err)
+	}
+	st := s.collector.Snapshot()
+	mode := "clean drain"
+	if crashed {
+		mode = fmt.Sprintf("CRASH at cycle %d", s.engine.Now())
+	}
+	fmt.Printf("pmkvd: %s after %d cycles\n", mode, s.engine.Now())
+	fmt.Printf("  publishes: %d durable / %d total; recovered keys: %d\n",
+		rep.DurablePublishes, rep.TotalPublishes, rep.RecoveredKeys)
+	fmt.Printf("  epochs: %d in graph (+%d publish edges), %d persisted (%.3f/kcycle)\n",
+		rep.Epochs, rep.PublishEdges, st.EpochsPersisted, st.EpochsPerKcycle())
+	fmt.Printf("  persist latency (cycles): p50=%d p90=%d p99=%d (%d samples)\n",
+		st.LatencyP50, st.LatencyP90, st.LatencyP99, st.LatencySamples)
+	fmt.Printf("  conflicts: %d intra, %d inter, %d eviction\n",
+		st.ConflictsIntra, st.ConflictsInter, st.ConflictsEviction)
+	fmt.Printf("  recovery invariants: OK (fingerprint %.16s)\n", rep.Fingerprint)
+	return nil
+}

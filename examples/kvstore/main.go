@@ -1,8 +1,11 @@
-// kvstore: a persistent hash-table application under buffered epoch
-// persistency, crashed at an arbitrary instant. The example shows the
-// guarantee BEP gives you: whatever the crash instant, the durable image
-// respects the epoch ordering the persist barriers established — the
-// recovery checker proves it for this run.
+// kvstore: a durable key-value store under buffered epoch persistency,
+// crashed at an arbitrary instant. Four client sessions hammer the pmkv
+// engine concurrently; every Put becomes the paper's Figure 10 discipline
+// on the simulated multicore — write the entry, persist barrier, publish
+// the bucket head, persist barrier. Mid-run the machine loses power, and
+// recovery proves the guarantee BEP gives you: the durable image is an
+// epoch-ordered cut, no bucket head names a torn entry, and each
+// session's durable writes are a prefix of what it issued.
 //
 // Run with:
 //
@@ -12,67 +15,86 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
-	"persistbarriers/internal/machine"
-	"persistbarriers/internal/recovery"
-	"persistbarriers/internal/workload"
+	"persistbarriers/internal/pmkv"
 )
 
 func main() {
-	// Eight threads insert/delete/search 512-byte entries in per-thread
-	// hash tables, with persist barriers splitting every insert into
-	// "write entry" and "publish pointer" epochs (the paper's Figure 10
-	// discipline).
-	program, err := workload.Hash(workload.Spec{Threads: 8, OpsPerThread: 40, Seed: 7})
+	// Pull the plug mid-run. (Set to 0 for a clean drain: then every
+	// write recovers.)
+	const crashCycle = 12000
+
+	engine, err := pmkv.New(pmkv.Config{CrashAt: crashCycle})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	cfg := machine.DefaultConfig()
-	cfg.Cores = 8
-	cfg.Model = machine.LB
-	cfg.IDT, cfg.PF = true, true // LB++
-	cfg.RecordHistory = true     // retain epoch write sets for recovery
-
-	m, err := machine.New(cfg)
-	if err != nil {
-		log.Fatal(err)
+	// Four sessions (one per simulated core) write a shared keyspace in
+	// batches; each batch is one group commit, so the sessions contend on
+	// bucket heads and the epoch hardware resolves the conflicts.
+	sessions := make([]*pmkv.Session, 4)
+	for i := range sessions {
+		sessions[i] = engine.NewSession()
 	}
-	if err := m.Load(program); err != nil {
-		log.Fatal(err)
-	}
-
-	// Pull the plug mid-run.
-	const crashCycle = 15000
-	result, err := m.RunUntil(crashCycle)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	durable := len(result.Image)
-	var persisted, unpersisted int
-	for _, hist := range result.Histories {
-		for _, s := range hist {
-			if s.PersistedFlag {
-				persisted++
-			} else if len(s.Writes) > 0 {
-				unpersisted++
+	issued := 0
+	for round := 0; !engine.Crashed(); round++ {
+		batch := make([]pmkv.Request, 0, len(sessions))
+		for i, s := range sessions {
+			key := fmt.Sprintf("user:%d", (round*len(sessions)+i)%10)
+			val := fmt.Sprintf("r%d-s%d", round, i)
+			op := pmkv.Put
+			if round > 0 && (round+i)%7 == 0 {
+				op = pmkv.Delete
 			}
+			batch = append(batch, pmkv.Request{Sess: s, Op: op, Key: key, Value: []byte(val)})
+		}
+		_, err := engine.Apply(batch)
+		if err == pmkv.ErrCrashed {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		issued += len(batch)
+		if round >= 40 { // bound the demo if the crash never lands
+			break
 		}
 	}
-	fmt.Printf("crash at cycle %d: %d lines durable, %d epochs persisted, %d in flight\n",
-		crashCycle, durable, persisted, unpersisted)
 
-	// Recovery: verify the durable image is a happens-before-consistent
-	// cut of the epoch history. If the hardware (or this simulator) ever
-	// persisted a dependent epoch before its source, this fails.
-	g := recovery.NewGraph(result.Histories)
-	if err := recovery.CheckOrdering(g, result.Image); err != nil {
+	result, err := engine.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crash at cycle %d: %d ops issued before power loss, %d lines durable\n",
+		engine.Now(), issued, len(result.Image))
+
+	// Recovery: rebuild the happens-before graph from the retained epoch
+	// histories, strengthen it with the per-bucket publish order, and
+	// verify every invariant — epoch ordering, persisted-set closure, KV
+	// atomicity (no torn entries), and per-session prefix durability.
+	report, err := engine.Verify(result)
+	if err != nil {
 		log.Fatalf("INCONSISTENT persistent state: %v", err)
 	}
-	if err := recovery.CheckPersistedClosed(g, result.Image); err != nil {
-		log.Fatalf("INCONSISTENT persisted set: %v", err)
+	fmt.Printf("recovery check: %d epochs, %d publish-order edges, %d/%d publishes durable ✓\n",
+		report.Epochs, report.PublishEdges, report.DurablePublishes, report.TotalPublishes)
+
+	// Reconstruct the durable contents — what a restarting kvstore would
+	// actually serve.
+	recovered, err := engine.RecoveredState(result)
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println("recovery check: durable state is a consistent epoch-ordered cut ✓")
-	fmt.Println("(a recovering kvstore can trust every published pointer it finds)")
+	keys := make([]string, 0, len(recovered))
+	for k := range recovered {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("recovered state (%d keys, fingerprint %.16s):\n",
+		len(recovered), report.Fingerprint)
+	for _, k := range keys {
+		fmt.Printf("  %-8s = %s\n", k, recovered[k])
+	}
+	fmt.Println("(every recovered pointer is a complete, barrier-ordered write — nothing torn)")
 }

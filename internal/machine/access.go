@@ -515,6 +515,10 @@ func (m *Machine) finishStore(c *coreCtx, line mem.Line, done func()) {
 func (m *Machine) commitStore(c *coreCtx, line mem.Line) mem.Version {
 	ver := m.vs.Next()
 	m.latest[line] = ver
+	if tok, ok := c.pendingTok[line]; ok {
+		delete(c.pendingTok, line)
+		m.tokenVersions[tok] = ver
+	}
 	d := m.dirEntryFor(line)
 	d.owner = c.id
 	d.sharers |= 1 << uint(c.id)

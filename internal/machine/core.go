@@ -10,6 +10,12 @@ import (
 // re-enters it.
 func (m *Machine) stepCore(c *coreCtx) {
 	if c.pc >= len(c.ops) {
+		if m.streaming && !m.feedClosed {
+			// Streaming mode: park until Feed appends more ops (or
+			// CloseFeed retires the core).
+			c.waiting = true
+			return
+		}
 		// Wait for the write buffer to drain before retiring the core.
 		m.drainWriteBuffer(c, func() { m.coreFinished(c) })
 		return
@@ -36,6 +42,12 @@ func (m *Machine) stepCore(c *coreCtx) {
 	case trace.Load:
 		m.access(c, mem.Load, mem.LineOf(op.Addr), after)
 	case trace.Store:
+		if op.Token != 0 {
+			if c.pendingTok == nil {
+				c.pendingTok = make(map[mem.Line]uint64)
+			}
+			c.pendingTok[mem.LineOf(op.Addr)] = op.Token
+		}
 		m.postStore(c, mem.LineOf(op.Addr), after)
 	default:
 		panic("machine: unknown op kind")

@@ -90,6 +90,14 @@ type coreCtx struct {
 	txs  uint64
 	done bool
 
+	// waiting marks a streaming-mode core parked with no ops left; Feed
+	// (or CloseFeed) reschedules it.
+	waiting bool
+
+	// pendingTok maps a line to the token of the tagged store currently
+	// in flight to it (see trace.Op.Token).
+	pendingTok map[mem.Line]uint64
+
 	// Bulk-mode BSP state.
 	storesSinceBarrier int
 	ckptBase           mem.Addr
@@ -149,6 +157,15 @@ type Machine struct {
 	globalFlushBusy    bool
 	globalFlushWaiters []func()
 
+	// Streaming-mode state (see stream.go): ops arrive at runtime via
+	// Feed instead of a preloaded program.
+	streaming  bool
+	feedClosed bool
+
+	// tokenVersions records the committed store version of every tagged
+	// store (trace.Op.Token) the run has retired.
+	tokenVersions map[uint64]mem.Version
+
 	runningCores int
 	execCycles   sim.Cycle
 	drainCycles  sim.Cycle
@@ -171,15 +188,16 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		cfg:      cfg,
-		eng:      eng,
-		mesh:     mesh,
-		mcs:      mcs,
-		dir:      make(map[mem.Line]*dirEntry),
-		mshr:     make(map[mem.Line]*sim.Signal),
-		busy:     make(map[mem.Line]*sim.Signal),
-		busyInfo: make(map[mem.Line]string),
-		latest:   make(map[mem.Line]mem.Version),
+		cfg:           cfg,
+		eng:           eng,
+		mesh:          mesh,
+		mcs:           mcs,
+		dir:           make(map[mem.Line]*dirEntry),
+		mshr:          make(map[mem.Line]*sim.Signal),
+		busy:          make(map[mem.Line]*sim.Signal),
+		busyInfo:      make(map[mem.Line]string),
+		latest:        make(map[mem.Line]mem.Version),
+		tokenVersions: make(map[uint64]mem.Version),
 	}
 
 	if cfg.Probe.Active() {

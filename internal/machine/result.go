@@ -98,6 +98,11 @@ type Result struct {
 	UndoLog    []nvram.LogEntry
 	Latest     map[mem.Line]mem.Version
 	PersistLog []PersistEvent
+
+	// TokenVersions maps each retired tagged store (trace.Op.Token) to
+	// the version it committed; tokens whose store had not retired by the
+	// crash instant are absent.
+	TokenVersions map[uint64]mem.Version
 }
 
 // Throughput is transactions per kilocycle — Figure 11's metric (before
@@ -192,6 +197,12 @@ func (m *Machine) result() *Result {
 		r.Latest = make(map[mem.Line]mem.Version, len(m.latest))
 		for l, v := range m.latest {
 			r.Latest[l] = v
+		}
+	}
+	if len(m.tokenVersions) > 0 {
+		r.TokenVersions = make(map[uint64]mem.Version, len(m.tokenVersions))
+		for t, v := range m.tokenVersions {
+			r.TokenVersions[t] = v
 		}
 	}
 	return r

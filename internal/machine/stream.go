@@ -1,0 +1,137 @@
+package machine
+
+import (
+	"fmt"
+
+	"persistbarriers/internal/sim"
+	"persistbarriers/internal/trace"
+)
+
+// Streaming mode lets a live application program the machine at runtime:
+// instead of preloading a fixed trace, ops are appended per core with Feed
+// while the simulation is paused, and PumpUntilIdle advances the machine
+// until every core has retired its queued ops (background persist
+// machinery keeps its in-flight state across pumps, so epochs persist
+// lazily under later batches exactly as buffered epoch persistency
+// intends). The driver is single-threaded with respect to the machine:
+// Feed/Pump/Step/Snapshot calls must not race the engine.
+
+// StartStream puts an unused machine into streaming mode. Every core
+// starts parked with an empty trace; Feed supplies ops.
+func (m *Machine) StartStream() error {
+	if m.runningCores != 0 || m.finished || m.streaming {
+		return fmt.Errorf("machine: already run")
+	}
+	m.streaming = true
+	m.runningCores = len(m.cores)
+	for _, c := range m.cores {
+		c := c
+		m.eng.At(0, func() { m.stepCore(c) })
+	}
+	return nil
+}
+
+// Feed appends ops to core's instruction stream, waking it if parked. It
+// may only be called between pumps (never from inside an engine event).
+func (m *Machine) Feed(core int, ops []trace.Op) error {
+	if !m.streaming {
+		return fmt.Errorf("machine: Feed outside streaming mode")
+	}
+	if m.feedClosed {
+		return fmt.Errorf("machine: Feed after CloseFeed")
+	}
+	if core < 0 || core >= len(m.cores) {
+		return fmt.Errorf("machine: Feed to core %d of %d", core, len(m.cores))
+	}
+	c := m.cores[core]
+	c.ops = append(c.ops, ops...)
+	if c.waiting {
+		c.waiting = false
+		m.eng.At(m.eng.Now(), func() { m.stepCore(c) })
+	}
+	return nil
+}
+
+// CloseFeed declares that no further ops will arrive on any core. Parked
+// cores are released so they can retire; the run then finishes (with the
+// usual end-of-run persist drain) once every core runs dry.
+func (m *Machine) CloseFeed() {
+	if !m.streaming || m.feedClosed {
+		return
+	}
+	m.feedClosed = true
+	for _, c := range m.cores {
+		if c.waiting {
+			c.waiting = false
+			c := c
+			m.eng.At(m.eng.Now(), func() { m.stepCore(c) })
+		}
+	}
+}
+
+// Idle reports whether every core is parked awaiting ops (or retired).
+func (m *Machine) Idle() bool {
+	for _, c := range m.cores {
+		if !c.waiting && !c.done {
+			return false
+		}
+	}
+	return true
+}
+
+// PumpUntilIdle runs the machine until every core has retired its queued
+// ops, the crash limit is reached, or the machine deadlocks. It returns
+// true when the cores went idle before limit; false means the clock hit
+// limit first (a crash instant — snapshot with Snapshot) or the machine
+// deadlocked (Deadlocked reports which).
+func (m *Machine) PumpUntilIdle(limit sim.Cycle) bool {
+	if !m.streaming {
+		return false
+	}
+	m.eng.RunWhile(limit, func() bool { return !m.Idle() })
+	if m.Idle() {
+		return true
+	}
+	if m.eng.Pending() == 0 {
+		// Cores stuck with nothing scheduled: a genuine protocol deadlock
+		// (e.g. splitting disabled under a circular dependence).
+		m.deadlocked = true
+	}
+	return false
+}
+
+// Step advances the clock by up to delta cycles, running whatever
+// background machinery (epoch flushes, NVRAM writes) is scheduled — the
+// streaming analogue of wall-clock time passing between request batches.
+func (m *Machine) Step(delta sim.Cycle) {
+	if !m.streaming {
+		return
+	}
+	m.eng.RunUntil(m.eng.Now() + delta)
+}
+
+// Drain ends a streaming run: the feed closes, every core retires, and
+// the end-of-run persist drain flushes all outstanding epochs. It returns
+// the final result.
+func (m *Machine) Drain() (*Result, error) {
+	if !m.streaming {
+		return nil, fmt.Errorf("machine: Drain outside streaming mode")
+	}
+	m.CloseFeed()
+	m.eng.Run()
+	if !m.finished {
+		m.deadlocked = true
+	}
+	return m.result(), nil
+}
+
+// Snapshot captures the machine state as a Result without ending the run
+// — the durable image is exactly what NVRAM holds at this instant, which
+// is what a crash at the current cycle would leave behind.
+func (m *Machine) Snapshot() *Result { return m.result() }
+
+// Deadlocked reports whether the machine has wedged.
+func (m *Machine) Deadlocked() bool { return m.deadlocked }
+
+// Now reports the current simulated cycle.
+func (m *Machine) Now() sim.Cycle { return m.eng.Now() }

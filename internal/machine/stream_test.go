@@ -1,0 +1,144 @@
+package machine
+
+import (
+	"testing"
+
+	"persistbarriers/internal/mem"
+	"persistbarriers/internal/sim"
+	"persistbarriers/internal/trace"
+)
+
+func lbStreamConfig() Config {
+	cfg := testConfig(LB)
+	cfg.IDT, cfg.PF = true, true
+	return cfg
+}
+
+func TestStreamFeedAndDrain(t *testing.T) {
+	m, err := New(lbStreamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartStream(); err != nil {
+		t.Fatal(err)
+	}
+	var b trace.Builder
+	b.Store(0x1000).Barrier().Store(0x2000).Barrier().TxEnd()
+	if err := m.Feed(0, b.Ops()); err != nil {
+		t.Fatal(err)
+	}
+	if !m.PumpUntilIdle(sim.MaxCycle) {
+		t.Fatal("machine did not go idle")
+	}
+	// Cores retired their ops but the run is still open: feed more.
+	var b2 trace.Builder
+	b2.Store(0x3000).Barrier().TxEnd()
+	if err := m.Feed(1, b2.Ops()); err != nil {
+		t.Fatal(err)
+	}
+	if !m.PumpUntilIdle(sim.MaxCycle) {
+		t.Fatal("machine did not go idle after second feed")
+	}
+	r, err := m.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Finished || r.Deadlocked {
+		t.Fatalf("Finished=%v Deadlocked=%v", r.Finished, r.Deadlocked)
+	}
+	if r.Transactions != 2 {
+		t.Fatalf("transactions = %d, want 2", r.Transactions)
+	}
+	// After the drain, every store must be durable.
+	for _, l := range []mem.Line{mem.LineOf(0x1000), mem.LineOf(0x2000), mem.LineOf(0x3000)} {
+		if r.Image[l] == mem.NoVersion {
+			t.Fatalf("line %v not durable after drain", l)
+		}
+	}
+}
+
+func TestStreamCrashLimit(t *testing.T) {
+	m, err := New(lbStreamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartStream(); err != nil {
+		t.Fatal(err)
+	}
+	var b trace.Builder
+	for i := 0; i < 50; i++ {
+		b.Store(mem.Addr(0x1000 + i*64)).Barrier()
+	}
+	if err := m.Feed(0, b.Ops()); err != nil {
+		t.Fatal(err)
+	}
+	const crash = 500
+	if m.PumpUntilIdle(crash) {
+		t.Fatal("50 barriered stores retired within 500 cycles")
+	}
+	if m.Deadlocked() {
+		t.Fatal("crash limit misreported as deadlock")
+	}
+	if m.Now() != crash {
+		t.Fatalf("clock = %d at crash, want %d", m.Now(), crash)
+	}
+	r := m.Snapshot()
+	if r.Finished {
+		t.Fatal("crashed run reported finished")
+	}
+}
+
+func TestStreamTokenVersions(t *testing.T) {
+	m, err := New(lbStreamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartStream(); err != nil {
+		t.Fatal(err)
+	}
+	var b trace.Builder
+	b.StoreTagged(0x1000, 7).Barrier().StoreTagged(0x1000, 8).Barrier()
+	if err := m.Feed(0, b.Ops()); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v7, ok7 := r.TokenVersions[7]
+	v8, ok8 := r.TokenVersions[8]
+	if !ok7 || !ok8 {
+		t.Fatalf("tokens missing: %v", r.TokenVersions)
+	}
+	if v8 <= v7 {
+		t.Fatalf("later tagged store got version %d <= %d", v8, v7)
+	}
+	if r.Image[mem.LineOf(0x1000)] != v8 {
+		t.Fatalf("image holds %d, want final version %d", r.Image[mem.LineOf(0x1000)], v8)
+	}
+}
+
+func TestStreamFeedErrors(t *testing.T) {
+	m, err := New(lbStreamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Feed(0, nil); err == nil {
+		t.Fatal("Feed before StartStream accepted")
+	}
+	if err := m.StartStream(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartStream(); err == nil {
+		t.Fatal("double StartStream accepted")
+	}
+	if err := m.Feed(99, nil); err == nil {
+		t.Fatal("Feed to out-of-range core accepted")
+	}
+	if _, err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Feed(0, nil); err == nil {
+		t.Fatal("Feed after Drain accepted")
+	}
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+
+	"persistbarriers/internal/sim"
+)
+
+// CollectorRing is the default bound on retained persist-latency samples.
+const CollectorRing = 8192
+
+// ServiceStats is a point-in-time snapshot of a Collector.
+type ServiceStats struct {
+	Cycle sim.Cycle `json:"cycle"`
+
+	Txs             uint64 `json:"txs"`
+	EpochsOpened    uint64 `json:"epochs_opened"`
+	EpochsPersisted uint64 `json:"epochs_persisted"`
+
+	ConflictsIntra    uint64 `json:"conflicts_intra"`
+	ConflictsInter    uint64 `json:"conflicts_inter"`
+	ConflictsEviction uint64 `json:"conflicts_eviction"`
+
+	// Persist latency (epoch completion to durability), in cycles, over
+	// the retained sample window.
+	LatencySamples int       `json:"latency_samples"`
+	LatencyP50     sim.Cycle `json:"latency_p50"`
+	LatencyP90     sim.Cycle `json:"latency_p90"`
+	LatencyP99     sim.Cycle `json:"latency_p99"`
+}
+
+// EpochsPerKcycle is durable epochs per kilocycle — the engine's service
+// throughput in simulated time.
+func (s ServiceStats) EpochsPerKcycle() float64 {
+	if s.Cycle == 0 {
+		return 0
+	}
+	return float64(s.EpochsPersisted) / float64(s.Cycle) * 1000
+}
+
+// Collector is a Sink that folds the event stream into live serving
+// metrics: epoch throughput, persist-latency percentiles, and conflict
+// counts by kind. Unlike the Sampler it is safe for concurrent use — a
+// server's stats endpoint reads Snapshot while the engine emits.
+type Collector struct {
+	mu sync.Mutex
+
+	cycle sim.Cycle
+
+	txs       uint64
+	opened    uint64
+	persisted uint64
+
+	intra    uint64
+	inter    uint64
+	eviction uint64
+
+	// completedAt holds completion cycles of epochs awaiting durability,
+	// keyed by (core, epoch). Entries are consumed by the persist event.
+	completedAt map[[2]int64]sim.Cycle
+
+	// latencies is a bounded ring of complete->persist latencies.
+	latencies []sim.Cycle
+	next      int
+	full      bool
+	ring      int
+}
+
+// NewCollector builds a collector retaining up to ring latency samples
+// (<= 0 selects CollectorRing).
+func NewCollector(ring int) *Collector {
+	if ring <= 0 {
+		ring = CollectorRing
+	}
+	return &Collector{
+		completedAt: make(map[[2]int64]sim.Cycle),
+		latencies:   make([]sim.Cycle, 0, ring),
+		ring:        ring,
+	}
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ev.Cycle > c.cycle {
+		c.cycle = ev.Cycle
+	}
+	switch ev.Kind {
+	case KTxRetired:
+		c.txs++
+	case KEpochOpen:
+		c.opened++
+	case KEpochComplete:
+		c.completedAt[[2]int64{int64(ev.Core), ev.Epoch}] = ev.Cycle
+	case KEpochPersist:
+		c.persisted++
+		key := [2]int64{int64(ev.Core), ev.Epoch}
+		if done, ok := c.completedAt[key]; ok {
+			delete(c.completedAt, key)
+			c.push(ev.Cycle - done)
+		}
+	case KConflict:
+		switch ev.Label {
+		case ConflictIntra:
+			c.intra++
+		case ConflictInter:
+			c.inter++
+		case ConflictEviction:
+			c.eviction++
+		}
+	}
+}
+
+func (c *Collector) push(lat sim.Cycle) {
+	if len(c.latencies) < c.ring {
+		c.latencies = append(c.latencies, lat)
+		return
+	}
+	c.latencies[c.next] = lat
+	c.next = (c.next + 1) % c.ring
+	c.full = true
+}
+
+// Snapshot returns the current metrics.
+func (c *Collector) Snapshot() ServiceStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := ServiceStats{
+		Cycle:             c.cycle,
+		Txs:               c.txs,
+		EpochsOpened:      c.opened,
+		EpochsPersisted:   c.persisted,
+		ConflictsIntra:    c.intra,
+		ConflictsInter:    c.inter,
+		ConflictsEviction: c.eviction,
+		LatencySamples:    len(c.latencies),
+	}
+	if len(c.latencies) > 0 {
+		sorted := append([]sim.Cycle(nil), c.latencies...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		s.LatencyP50 = percentile(sorted, 50)
+		s.LatencyP90 = percentile(sorted, 90)
+		s.LatencyP99 = percentile(sorted, 99)
+	}
+	return s
+}
+
+// percentile picks the nearest-rank p-th percentile of a sorted slice.
+func percentile(sorted []sim.Cycle, p int) sim.Cycle {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+
+	"persistbarriers/internal/sim"
+)
+
+func TestCollectorLatencyAndCounts(t *testing.T) {
+	c := NewCollector(0)
+	p := NewProbe(c)
+	// Three epochs: complete at t, persist at t+lat.
+	lats := []sim.Cycle{10, 20, 300}
+	for i, lat := range lats {
+		t0 := sim.Cycle(100 * (i + 1))
+		p.EpochOpen(t0, 0, uint64(i))
+		p.EpochComplete(t0, 0, uint64(i), "barrier", 4)
+		p.EpochPersist(t0+lat, 0, uint64(i), "natural")
+	}
+	p.Conflict(700, ConflictInter, 1, 0, 2, 0x40, ResolveIDT)
+	p.Conflict(710, ConflictIntra, 0, 0, 2, 0x40, ResolveOnline)
+	p.TxRetired(720, 0)
+
+	s := c.Snapshot()
+	if s.EpochsOpened != 3 || s.EpochsPersisted != 3 {
+		t.Fatalf("epochs: %+v", s)
+	}
+	if s.ConflictsInter != 1 || s.ConflictsIntra != 1 || s.ConflictsEviction != 0 {
+		t.Fatalf("conflicts: %+v", s)
+	}
+	if s.Txs != 1 {
+		t.Fatalf("txs: %+v", s)
+	}
+	if s.LatencySamples != 3 {
+		t.Fatalf("latency samples: %+v", s)
+	}
+	if s.LatencyP50 != 20 {
+		t.Fatalf("p50 = %d, want 20", s.LatencyP50)
+	}
+	if s.LatencyP99 != 300 {
+		t.Fatalf("p99 = %d, want 300", s.LatencyP99)
+	}
+	if s.Cycle != 720 {
+		t.Fatalf("cycle = %d, want 720", s.Cycle)
+	}
+}
+
+func TestCollectorRingBounds(t *testing.T) {
+	c := NewCollector(4)
+	p := NewProbe(c)
+	for i := 0; i < 100; i++ {
+		p.EpochComplete(sim.Cycle(i*10), 0, uint64(i), "barrier", 1)
+		p.EpochPersist(sim.Cycle(i*10+5), 0, uint64(i), "natural")
+	}
+	s := c.Snapshot()
+	if s.LatencySamples != 4 {
+		t.Fatalf("ring grew past bound: %d", s.LatencySamples)
+	}
+	if s.EpochsPersisted != 100 {
+		t.Fatalf("persisted count: %d", s.EpochsPersisted)
+	}
+}
+
+func TestCollectorPersistWithoutComplete(t *testing.T) {
+	c := NewCollector(0)
+	p := NewProbe(c)
+	// A persist with no recorded completion (e.g. the sink attached
+	// mid-run) must count but produce no latency sample.
+	p.EpochPersist(50, 2, 7, "natural")
+	s := c.Snapshot()
+	if s.EpochsPersisted != 1 || s.LatencySamples != 0 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestCollectorConcurrentSnapshot(t *testing.T) {
+	c := NewCollector(64)
+	p := NewProbe(c)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			c.Snapshot()
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		p.EpochComplete(sim.Cycle(i), 0, uint64(i), "barrier", 1)
+		p.EpochPersist(sim.Cycle(i+1), 0, uint64(i), "natural")
+	}
+	wg.Wait()
+	if got := c.Snapshot().EpochsPersisted; got != 1000 {
+		t.Fatalf("persisted = %d", got)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []sim.Cycle{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(sorted, 50); got != 5 {
+		t.Fatalf("p50 = %d", got)
+	}
+	if got := percentile(sorted, 100); got != 10 {
+		t.Fatalf("p100 = %d", got)
+	}
+	if got := percentile(sorted, 1); got != 1 {
+		t.Fatalf("p1 = %d", got)
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Fatalf("empty = %d", got)
+	}
+}

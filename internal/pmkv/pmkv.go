@@ -1,0 +1,444 @@
+// Package pmkv is a durable key-value engine built on the epoch-persistency
+// runtime: every Put/Delete is translated online into the paper's Figure 10
+// discipline — write the entry, persist barrier, publish the bucket-head
+// pointer, persist barrier — and executed on the simulated multicore through
+// the machine's streaming program source. Client sessions multiplex onto
+// cores, so concurrent sessions sharing a bucket produce genuine
+// inter-thread dependences (IDT edges) in the epoch hardware.
+//
+// The engine does not simulate data bytes (the machine is version-based);
+// it keeps the logical key/value state itself and correlates logical writes
+// with the durable image through store tokens: each entry line and each
+// publish store is tagged, the machine reports the committed version per
+// tag, and recovery reconstructs exactly the prefix of publishes whose
+// versions reached NVRAM. Verify checks the §5 invariants (epoch order,
+// prefix closure) plus KV-level atomicity: no durable bucket head may name
+// a torn entry, and each session's durable publishes form a prefix of its
+// program order.
+package pmkv
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"persistbarriers/internal/machine"
+	"persistbarriers/internal/mem"
+	"persistbarriers/internal/sim"
+	"persistbarriers/internal/trace"
+)
+
+// Address-space layout. Bucket heads and entries live well below the
+// machine's checkpoint region (1<<40) and far from the low addresses the
+// canned workloads use.
+const (
+	headBase  = mem.Addr(0x2000_0000)
+	entryBase = mem.Addr(0x4000_0000)
+)
+
+// Op enumerates client operations.
+type Op uint8
+
+const (
+	// Get reads a key (loads only; persists nothing).
+	Get Op = iota
+	// Put writes a key (entry stores, barrier, publish, barrier).
+	Put
+	// Delete unlinks a key (publish of a tombstone head, barrier).
+	Delete
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case Get:
+		return "get"
+	case Put:
+		return "put"
+	case Delete:
+		return "del"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Config sizes the engine.
+type Config struct {
+	// Machine is the simulated multicore. Zero value selects SmallMachine.
+	Machine machine.Config
+	// Buckets is the hash-table bucket count (default 64).
+	Buckets int
+	// CrashAt, when nonzero, is the cycle at which the simulated machine
+	// loses power: execution never advances past it, and Close returns the
+	// NVRAM image as of that instant.
+	CrashAt sim.Cycle
+	// BatchGap is simulated time between request batches (background
+	// persist machinery keeps running during the gap). Default 200.
+	BatchGap sim.Cycle
+}
+
+// SmallMachine is a 4-core LB++ machine suitable for interactive use and
+// tests; history recording is on because recovery verification needs it.
+func SmallMachine() machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 4
+	cfg.LLCBanks = 4
+	cfg.LLCSets = 64
+	cfg.Model = machine.LB
+	cfg.IDT = true
+	cfg.PF = true
+	cfg.RecordHistory = true
+	return cfg
+}
+
+func (c *Config) fill() {
+	if c.Machine.Cores == 0 {
+		c.Machine = SmallMachine()
+	}
+	c.Machine.RecordHistory = true
+	if c.Buckets <= 0 {
+		c.Buckets = 64
+	}
+	if c.BatchGap == 0 {
+		c.BatchGap = 200
+	}
+}
+
+// Session is one client's ordered stream of operations. Sessions map onto
+// cores round-robin; a session's requests execute in program order on its
+// core, so its publishes are totally ordered by per-core epoch order.
+type Session struct {
+	ID   int
+	Core int
+}
+
+// Request is one client operation.
+type Request struct {
+	Sess  *Session
+	Op    Op
+	Key   string
+	Value []byte
+}
+
+// Response answers a Request from the engine's volatile state (visibility
+// is immediate; durability is what Verify and RecoveredState reason about).
+type Response struct {
+	Found bool
+	Value []byte
+}
+
+// OpRecord retains what the engine needs to audit one mutating operation
+// against the crash image.
+type OpRecord struct {
+	Sess, Seq int
+	Core      int
+	Op        Op
+	Key       string
+	Bucket    int
+	Head      mem.Line
+	// PubToken tags the head-pointer store; EntryTokens/EntryLines tag the
+	// write-entry stores (empty for Delete).
+	PubToken    uint64
+	EntryTokens []uint64
+	EntryLines  []mem.Line
+	// After is the bucket's logical contents once this publish applies —
+	// recovery state is rebuilt from the last durable publish per bucket.
+	After map[string][]byte
+}
+
+// Engine is the durable KV store. All methods are safe for concurrent use;
+// the simulated machine itself is single-threaded and serialized by mu.
+type Engine struct {
+	mu  sync.Mutex
+	cfg Config
+	m   *machine.Machine
+
+	kv      map[string][]byte     // volatile logical state
+	entries map[string][]mem.Line // current entry lines per key (for Get loads)
+
+	nextToken uint64
+	nextEntry mem.Addr
+	sessions  int
+	seqs      map[int]int // per-session sequence numbers
+
+	records []*OpRecord
+
+	crashed bool
+	closed  bool
+}
+
+// New builds an engine on a fresh streaming machine.
+func New(cfg Config) (*Engine, error) {
+	cfg.fill()
+	m, err := machine.New(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.StartStream(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:       cfg,
+		m:         m,
+		kv:        make(map[string][]byte),
+		entries:   make(map[string][]mem.Line),
+		nextEntry: entryBase,
+		seqs:      make(map[int]int),
+	}, nil
+}
+
+// NewSession opens a client session, pinning it to a core round-robin.
+func (e *Engine) NewSession() *Session {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := &Session{ID: e.sessions, Core: e.sessions % e.cfg.Machine.Cores}
+	e.sessions++
+	return s
+}
+
+// Cores reports the machine's core count.
+func (e *Engine) Cores() int { return e.cfg.Machine.Cores }
+
+// fnv1a hashes a key to its bucket.
+func (e *Engine) bucketOf(key string) int {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 0x100000001b3
+	}
+	return int(h % uint64(e.cfg.Buckets))
+}
+
+func (e *Engine) headLine(bucket int) mem.Line {
+	return mem.LineOf(headBase + mem.Addr(bucket)*mem.LineSize)
+}
+
+// entryLinesFor allocates fresh lines for a value (at least one; one line
+// per 64 value bytes). Entries are never rewritten — each Put gets new
+// lines, like a log-structured heap — so tagged entry stores trivially
+// satisfy the one-tagged-store-per-line constraint.
+func (e *Engine) entryLinesFor(value []byte) []mem.Line {
+	n := (len(value) + int(mem.LineSize) - 1) / int(mem.LineSize)
+	if n == 0 {
+		n = 1
+	}
+	lines := make([]mem.Line, n)
+	for i := range lines {
+		lines[i] = mem.LineOf(e.nextEntry)
+		e.nextEntry += mem.LineSize
+	}
+	return lines
+}
+
+// bucketSnapshot captures the logical contents of one bucket.
+func (e *Engine) bucketSnapshot(bucket int) map[string][]byte {
+	snap := make(map[string][]byte)
+	for k, v := range e.kv {
+		if e.bucketOf(k) == bucket {
+			snap[k] = v
+		}
+	}
+	return snap
+}
+
+// translate turns one request into a per-core op stream, updates the
+// volatile state, and records the audit trail for mutations.
+func (e *Engine) translate(req Request) (Response, []trace.Op, error) {
+	if req.Sess == nil {
+		return Response{}, nil, fmt.Errorf("pmkv: request without session")
+	}
+	bucket := e.bucketOf(req.Key)
+	head := e.headLine(bucket)
+	seq := e.seqs[req.Sess.ID]
+	e.seqs[req.Sess.ID]++
+
+	var b trace.Builder
+	switch req.Op {
+	case Get:
+		b.Load(head.Addr())
+		val, ok := e.kv[req.Key]
+		for _, l := range e.entries[req.Key] {
+			b.Load(l.Addr())
+		}
+		b.TxEnd()
+		return Response{Found: ok, Value: val}, b.Ops(), nil
+
+	case Put:
+		rec := &OpRecord{
+			Sess: req.Sess.ID, Seq: seq, Core: req.Sess.Core,
+			Op: Put, Key: req.Key, Bucket: bucket, Head: head,
+		}
+		rec.EntryLines = e.entryLinesFor(req.Value)
+		b.Load(head.Addr())
+		for _, l := range rec.EntryLines {
+			e.nextToken++
+			rec.EntryTokens = append(rec.EntryTokens, e.nextToken)
+			b.StoreTagged(l.Addr(), e.nextToken)
+		}
+		b.Barrier()
+		e.nextToken++
+		rec.PubToken = e.nextToken
+		b.StoreTagged(head.Addr(), rec.PubToken)
+		b.Barrier()
+		b.TxEnd()
+
+		e.kv[req.Key] = req.Value
+		e.entries[req.Key] = rec.EntryLines
+		rec.After = e.bucketSnapshot(bucket)
+		e.records = append(e.records, rec)
+		return Response{Found: true, Value: req.Value}, b.Ops(), nil
+
+	case Delete:
+		_, found := e.kv[req.Key]
+		rec := &OpRecord{
+			Sess: req.Sess.ID, Seq: seq, Core: req.Sess.Core,
+			Op: Delete, Key: req.Key, Bucket: bucket, Head: head,
+		}
+		b.Load(head.Addr())
+		e.nextToken++
+		rec.PubToken = e.nextToken
+		b.StoreTagged(head.Addr(), rec.PubToken)
+		b.Barrier()
+		b.TxEnd()
+
+		delete(e.kv, req.Key)
+		delete(e.entries, req.Key)
+		rec.After = e.bucketSnapshot(bucket)
+		e.records = append(e.records, rec)
+		return Response{Found: found}, b.Ops(), nil
+
+	default:
+		return Response{}, nil, fmt.Errorf("pmkv: unknown op %v", req.Op)
+	}
+}
+
+// crashLimit is the pump limit: the crash instant, or forever.
+func (e *Engine) crashLimit() sim.Cycle {
+	if e.cfg.CrashAt == 0 {
+		return sim.MaxCycle
+	}
+	return e.cfg.CrashAt
+}
+
+// Apply executes a batch of requests as one group commit: every request's
+// ops are fed to its session's core before the machine advances, so
+// requests in one batch run concurrently in simulated time and contend on
+// shared bucket heads exactly like threads of Figure 10. It returns one
+// response per request (answered from volatile state, which survives even
+// if the machine crashes mid-batch — durability is judged later).
+func (e *Engine) Apply(batch []Request) ([]Response, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("pmkv: engine closed")
+	}
+	if e.crashed {
+		return nil, ErrCrashed
+	}
+	resps := make([]Response, 0, len(batch))
+	for _, req := range batch {
+		resp, ops, err := e.translate(req)
+		if err != nil {
+			return nil, err
+		}
+		resps = append(resps, resp)
+		if err := e.m.Feed(req.Sess.Core, ops); err != nil {
+			return nil, err
+		}
+	}
+	limit := e.crashLimit()
+	if !e.m.PumpUntilIdle(limit) {
+		if e.m.Deadlocked() {
+			return nil, fmt.Errorf("pmkv: machine deadlocked at cycle %d", e.m.Now())
+		}
+		e.crashed = true
+		return resps, ErrCrashed
+	}
+	// Let background persists overlap the think time between batches,
+	// still never past the crash instant.
+	gap := e.cfg.BatchGap
+	if limit != sim.MaxCycle && e.m.Now()+gap > limit {
+		gap = limit - e.m.Now()
+	}
+	e.m.Step(gap)
+	if limit != sim.MaxCycle && e.m.Now() >= limit {
+		e.crashed = true
+		return resps, ErrCrashed
+	}
+	return resps, nil
+}
+
+// ErrCrashed reports that the simulated machine hit its configured crash
+// instant; the responses already returned are still the volatile truth,
+// and Close delivers the durable image for recovery.
+var ErrCrashed = fmt.Errorf("pmkv: machine crashed at configured instant")
+
+// Crashed reports whether the crash instant has been reached.
+func (e *Engine) Crashed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.crashed
+}
+
+// Now reports the machine's current cycle.
+func (e *Engine) Now() sim.Cycle {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.m.Now()
+}
+
+// Records returns the mutation audit trail (shared slice; do not modify).
+func (e *Engine) Records() []*OpRecord {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.records
+}
+
+// Volatile returns a copy of the engine's in-memory (pre-crash) state.
+func (e *Engine) Volatile() map[string][]byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string][]byte, len(e.kv))
+	for k, v := range e.kv {
+		out[k] = v
+	}
+	return out
+}
+
+// Close ends the run and returns the machine result. On a clean close the
+// feed drains (all epochs persist); after a crash the result is a snapshot
+// of the NVRAM image at the crash instant.
+func (e *Engine) Close() (*machine.Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("pmkv: engine closed")
+	}
+	e.closed = true
+	if e.crashed {
+		return e.m.Snapshot(), nil
+	}
+	return e.m.Drain()
+}
+
+// publishesByHead groups mutation records whose publish store committed,
+// per bucket-head line, sorted by committed version — the total publish
+// order NVRAM saw for each bucket.
+func publishesByHead(records []*OpRecord, tokens map[uint64]mem.Version) map[mem.Line][]*OpRecord {
+	byHead := make(map[mem.Line][]*OpRecord)
+	for _, r := range records {
+		if r.Op == Get {
+			continue
+		}
+		if _, ok := tokens[r.PubToken]; !ok {
+			continue // publish never retired before the crash
+		}
+		byHead[r.Head] = append(byHead[r.Head], r)
+	}
+	for _, recs := range byHead {
+		sort.Slice(recs, func(i, j int) bool {
+			return tokens[recs[i].PubToken] < tokens[recs[j].PubToken]
+		})
+	}
+	return byHead
+}

@@ -1,0 +1,246 @@
+package pmkv
+
+import (
+	"fmt"
+	"testing"
+
+	"persistbarriers/internal/sim"
+)
+
+func testSpec() ScriptSpec {
+	return ScriptSpec{Sessions: 6, Rounds: 24, KeySpace: 16, ValueBytes: 160, Seed: 42}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := e.NewSession(), e.NewSession()
+	resps, err := e.Apply([]Request{
+		{Sess: s1, Op: Put, Key: "alpha", Value: []byte("one")},
+		{Sess: s2, Op: Put, Key: "beta", Value: []byte("two")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 2 || !resps[0].Found || !resps[1].Found {
+		t.Fatalf("put responses: %+v", resps)
+	}
+	resps, err = e.Apply([]Request{
+		{Sess: s1, Op: Get, Key: "beta"},
+		{Sess: s2, Op: Delete, Key: "alpha"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resps[0].Found || string(resps[0].Value) != "two" {
+		t.Fatalf("get beta = %+v", resps[0])
+	}
+	if !resps[1].Found {
+		t.Fatal("delete alpha reported not-found")
+	}
+	resps, err = e.Apply([]Request{{Sess: s1, Op: Get, Key: "alpha"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resps[0].Found {
+		t.Fatal("alpha still visible after delete")
+	}
+
+	res, err := e.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatal("clean close did not finish the machine")
+	}
+	rep, err := e.Verify(res)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// Clean drain: every publish persisted, recovered state == volatile.
+	if rep.DurablePublishes != rep.TotalPublishes {
+		t.Fatalf("durable %d != total %d after clean drain", rep.DurablePublishes, rep.TotalPublishes)
+	}
+	state, err := e.RecoveredState(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := e.Volatile()
+	if len(state) != len(want) {
+		t.Fatalf("recovered %d keys, want %d", len(state), len(want))
+	}
+	for k, v := range want {
+		if string(state[k]) != string(v) {
+			t.Fatalf("recovered[%q] = %q, want %q", k, state[k], v)
+		}
+	}
+}
+
+func TestApplyAfterCloseFails(t *testing.T) {
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewSession()
+	if _, err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply([]Request{{Sess: s, Op: Put, Key: "k", Value: []byte("v")}}); err == nil {
+		t.Fatal("Apply after Close accepted")
+	}
+	if _, err := e.Close(); err == nil {
+		t.Fatal("double Close accepted")
+	}
+}
+
+func TestCleanRunVerifies(t *testing.T) {
+	out, err := RunScript(Config{}, testSpec())
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	if out.Crashed {
+		t.Fatal("clean run reported crashed")
+	}
+	if out.RoundsApplied != testSpec().Rounds {
+		t.Fatalf("applied %d rounds, want %d", out.RoundsApplied, testSpec().Rounds)
+	}
+	if out.Report.TotalPublishes == 0 || out.Report.DurablePublishes != out.Report.TotalPublishes {
+		t.Fatalf("clean run publishes: %+v", out.Report)
+	}
+	if out.Report.PublishEdges == 0 {
+		t.Fatal("no publish-order edges: sessions never contended on a bucket")
+	}
+}
+
+// TestCrashSweep is the headline acceptance test: 200 seeded crash
+// instants spread across the run, >= 4 concurrent sessions, zero
+// epoch-order / prefix-closure / KV-atomicity violations.
+func TestCrashSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash sweep is long")
+	}
+	spec := testSpec()
+	clean, err := RunScript(Config{}, spec)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	instants := SweepInstants(clean.Cycles, 200)
+	crashed := 0
+	for _, at := range instants {
+		out, err := RunScript(Config{CrashAt: at}, spec)
+		if err != nil {
+			t.Fatalf("crash at %d: %v", at, err)
+		}
+		if out.Crashed {
+			crashed++
+			if out.Cycles != at {
+				t.Fatalf("crash at %d stopped clock at %d", at, out.Cycles)
+			}
+		}
+	}
+	if crashed < len(instants)/2 {
+		t.Fatalf("only %d/%d instants actually crashed; sweep is not exercising mid-run states", crashed, len(instants))
+	}
+}
+
+// TestCrashDeterminism: same seed + same crash instant twice must yield a
+// byte-identical recovered state (the fingerprint acceptance criterion).
+func TestCrashDeterminism(t *testing.T) {
+	spec := testSpec()
+	clean, err := RunScript(Config{}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []sim.Cycle{4, 2} {
+		at := clean.Cycles / frac
+		a, err := RunScript(Config{CrashAt: at}, spec)
+		if err != nil {
+			t.Fatalf("run A at %d: %v", at, err)
+		}
+		b, err := RunScript(Config{CrashAt: at}, spec)
+		if err != nil {
+			t.Fatalf("run B at %d: %v", at, err)
+		}
+		if a.Report.Fingerprint != b.Report.Fingerprint {
+			t.Fatalf("crash at %d: fingerprints differ:\n%s\n%s", at, a.Report.Fingerprint, b.Report.Fingerprint)
+		}
+		if a.Cycles != b.Cycles || a.RoundsApplied != b.RoundsApplied {
+			t.Fatalf("crash at %d: runs diverged: %+v vs %+v", at, a, b)
+		}
+	}
+}
+
+// TestCrashLosesRecentWrites: crash early enough and the recovered state
+// must be a strict subset of the volatile state's history — and still
+// verify. Exercises the interesting middle where some publishes are
+// durable and some are lost.
+func TestCrashMidRun(t *testing.T) {
+	spec := testSpec()
+	clean, err := RunScript(Config{}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunScript(Config{CrashAt: clean.Cycles / 2}, spec)
+	if err != nil {
+		t.Fatalf("mid-run crash: %v", err)
+	}
+	if !out.Crashed {
+		t.Skip("run finished before the midpoint; nothing to check")
+	}
+	if out.Report.TotalPublishes == 0 {
+		t.Fatal("no publishes retired by midpoint")
+	}
+}
+
+func TestSweepInstants(t *testing.T) {
+	in := SweepInstants(1000, 200)
+	if len(in) != 200 {
+		t.Fatalf("got %d instants", len(in))
+	}
+	if in[len(in)-1] != 1000 {
+		t.Fatalf("last instant %d, want 1000", in[len(in)-1])
+	}
+	for i, c := range in {
+		if c == 0 {
+			t.Fatalf("instant %d is zero (means no-crash)", i)
+		}
+		if i > 0 && c < in[i-1] {
+			t.Fatalf("instants not nondecreasing at %d", i)
+		}
+	}
+	if SweepInstants(0, 10) != nil || SweepInstants(100, 0) != nil {
+		t.Fatal("degenerate sweeps should be nil")
+	}
+}
+
+func TestFingerprintStateStable(t *testing.T) {
+	a := map[string][]byte{"x": []byte("1"), "y": []byte("2")}
+	b := map[string][]byte{"y": []byte("2"), "x": []byte("1")}
+	if FingerprintState(a) != FingerprintState(b) {
+		t.Fatal("fingerprint depends on map iteration order")
+	}
+	c := map[string][]byte{"x": []byte("1"), "y": []byte("3")}
+	if FingerprintState(a) == FingerprintState(c) {
+		t.Fatal("fingerprint ignores values")
+	}
+}
+
+func BenchmarkApplyRound(b *testing.B) {
+	e, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sessions := []*Session{e.NewSession(), e.NewSession(), e.NewSession(), e.NewSession()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := make([]Request, len(sessions))
+		for j, s := range sessions {
+			batch[j] = Request{Sess: s, Op: Put, Key: fmt.Sprintf("k%d", (i+j)%32), Value: []byte("value")}
+		}
+		if _, err := e.Apply(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Crash-consistency verification for the KV engine: the recovery graph is
+// rebuilt from the machine's retained epoch histories, strengthened with
+// the per-bucket publish order the engine knows from its store tokens, and
+// checked against the crash image — first the model-level §5 invariants,
+// then the KV-level guarantees the Figure 10 discipline buys.
+package pmkv
+
+import (
+	"fmt"
+	"sort"
+
+	"persistbarriers/internal/machine"
+	"persistbarriers/internal/mem"
+	"persistbarriers/internal/recovery"
+	"persistbarriers/internal/stats"
+)
+
+// Report summarizes a verified crash (or clean shutdown) image.
+type Report struct {
+	// Epochs is the number of epochs in the recovery graph; PublishEdges
+	// the number of per-bucket publish-order edges added to it.
+	Epochs       int
+	PublishEdges int
+	// DurablePublishes counts mutations whose publish reached NVRAM;
+	// TotalPublishes counts all retired publishes.
+	DurablePublishes int
+	TotalPublishes   int
+	// RecoveredKeys is the key count of the reconstructed durable state.
+	RecoveredKeys int
+	// Fingerprint canonically hashes the recovered state (determinism
+	// checks compare it across runs).
+	Fingerprint string
+}
+
+// durable reports whether version v of line l (or a legitimately later
+// one) is in the image — the line-rewrite conflict rules make ">=" exactly
+// "v persisted".
+func durable(image map[mem.Line]mem.Version, l mem.Line, v mem.Version) bool {
+	return v != mem.NoVersion && image[l] >= v
+}
+
+// Verify audits a machine result against the engine's mutation record. It
+// checks, in order:
+//
+//  1. Epoch-order invariant (recovery.CheckOrdering) over the history
+//     graph strengthened with publish-order edges: for each bucket head,
+//     consecutive publishes are ordered writes of one line, so the earlier
+//     publisher's epoch must persist before the later one's.
+//  2. Prefix closure of the hardware's declared-persisted set.
+//  3. KV atomicity: a durable (or superseded) bucket head never names a
+//     torn entry — every entry line of that publish is durable.
+//  4. Session order: each session's durable publishes are a prefix of its
+//     program order (a later publish durable while an earlier one is lost
+//     would invert the barrier ordering).
+func (e *Engine) Verify(res *machine.Result) (*Report, error) {
+	e.mu.Lock()
+	records := e.records
+	e.mu.Unlock()
+
+	g := recovery.NewGraph(res.Histories)
+	rep := &Report{Epochs: len(g.Epochs())}
+
+	byHead := publishesByHead(records, res.TokenVersions)
+	heads := make([]mem.Line, 0, len(byHead))
+	for h := range byHead {
+		heads = append(heads, h)
+	}
+	sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+	for _, h := range heads {
+		recs := byHead[h]
+		rep.TotalPublishes += len(recs)
+		for i := 1; i < len(recs); i++ {
+			prev, ok1 := g.WriterOf(res.TokenVersions[recs[i-1].PubToken])
+			next, ok2 := g.WriterOf(res.TokenVersions[recs[i].PubToken])
+			if !ok1 || !ok2 {
+				// The writing epoch was still open at the crash; its
+				// writes cannot be durable and no edge is needed.
+				continue
+			}
+			g.AddEdge(next, prev)
+			rep.PublishEdges++
+		}
+	}
+
+	if err := recovery.CheckOrdering(g, res.Image); err != nil {
+		return rep, fmt.Errorf("pmkv: epoch-order violation: %w", err)
+	}
+	if err := recovery.CheckPersistedClosed(g, res.Image); err != nil {
+		return rep, fmt.Errorf("pmkv: persisted-set violation: %w", err)
+	}
+
+	// KV atomicity: durable publish => whole entry durable.
+	for _, r := range records {
+		if r.Op == Get {
+			continue
+		}
+		pubVer, retired := res.TokenVersions[r.PubToken]
+		if !retired || !durable(res.Image, r.Head, pubVer) {
+			continue
+		}
+		rep.DurablePublishes++
+		for i, l := range r.EntryLines {
+			ev, ok := res.TokenVersions[r.EntryTokens[i]]
+			if !ok || !durable(res.Image, l, ev) {
+				return rep, fmt.Errorf(
+					"pmkv: torn write: sess %d seq %d (%v %q) published durably but entry line %v is not durable",
+					r.Sess, r.Seq, r.Op, r.Key, l)
+			}
+		}
+	}
+
+	// Session order: durable publishes form a program-order prefix.
+	bySess := make(map[int][]*OpRecord)
+	for _, r := range records {
+		if r.Op != Get {
+			bySess[r.Sess] = append(bySess[r.Sess], r)
+		}
+	}
+	sessIDs := make([]int, 0, len(bySess))
+	for id := range bySess {
+		sessIDs = append(sessIDs, id)
+	}
+	sort.Ints(sessIDs)
+	for _, id := range sessIDs {
+		recs := bySess[id]
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+		lost := -1 // seq of the first non-durable publish
+		for _, r := range recs {
+			pubVer, retired := res.TokenVersions[r.PubToken]
+			isDurable := retired && durable(res.Image, r.Head, pubVer)
+			if !isDurable {
+				if lost < 0 {
+					lost = r.Seq
+				}
+				continue
+			}
+			if lost >= 0 {
+				return rep, fmt.Errorf(
+					"pmkv: session %d publish seq %d durable while earlier seq %d was lost",
+					id, r.Seq, lost)
+			}
+		}
+	}
+
+	state, err := e.RecoveredState(res)
+	if err != nil {
+		return rep, err
+	}
+	rep.RecoveredKeys = len(state)
+	fp, err := stats.Fingerprint(recoverySnapshot(state))
+	if err != nil {
+		return rep, err
+	}
+	rep.Fingerprint = fp
+	return rep, nil
+}
+
+// recoverySnapshot renders the recovered state deterministically for
+// fingerprinting (sorted keys, values as strings).
+func recoverySnapshot(state map[string][]byte) [][2]string {
+	keys := make([]string, 0, len(state))
+	for k := range state {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][2]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, [2]string{k, string(state[k])})
+	}
+	return out
+}
+
+// RecoveredState reconstructs the durable key-value contents from the
+// crash image: for each bucket, the durable head version names the last
+// publish that persisted, and that publish's recorded after-state is the
+// bucket's recovered contents (its entries are durable by the atomicity
+// invariant Verify enforces).
+func (e *Engine) RecoveredState(res *machine.Result) (map[string][]byte, error) {
+	e.mu.Lock()
+	records := e.records
+	buckets := e.cfg.Buckets
+	e.mu.Unlock()
+
+	byVersion := make(map[mem.Version]*OpRecord)
+	for _, r := range records {
+		if r.Op == Get {
+			continue
+		}
+		if v, ok := res.TokenVersions[r.PubToken]; ok {
+			byVersion[v] = r
+		}
+	}
+	state := make(map[string][]byte)
+	for b := 0; b < buckets; b++ {
+		h := e.headLine(b)
+		v := res.Image[h]
+		if v == mem.NoVersion {
+			continue
+		}
+		r, ok := byVersion[v]
+		if !ok {
+			return nil, fmt.Errorf("pmkv: bucket %d head holds version %d with no matching publish", b, v)
+		}
+		for k, val := range r.After {
+			state[k] = val
+		}
+	}
+	return state, nil
+}
+
+// FingerprintState canonically hashes a recovered state.
+func FingerprintState(state map[string][]byte) string {
+	return stats.MustFingerprint(recoverySnapshot(state))
+}

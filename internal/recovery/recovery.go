@@ -61,6 +61,26 @@ func NewGraph(histories [][]*epoch.Summary) *Graph {
 	return g
 }
 
+// AddEdge records an externally known happens-before edge: earlier must
+// persist before later. Application layers (e.g. a KV store that knows
+// its publish order per bucket) use this to strengthen the graph with
+// dependences the hardware histories may have resolved without a
+// register. Edges naming unknown epochs are ignored.
+func (g *Graph) AddEdge(later, earlier epoch.ID) {
+	if later == earlier {
+		return
+	}
+	if g.epochs[later] == nil || g.epochs[earlier] == nil {
+		return
+	}
+	for _, p := range g.preds[later] {
+		if p == earlier {
+			return
+		}
+	}
+	g.preds[later] = append(g.preds[later], earlier)
+}
+
 // Summary returns the history entry for an epoch, or nil.
 func (g *Graph) Summary(id epoch.ID) *epoch.Summary { return g.epochs[id] }
 

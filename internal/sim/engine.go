@@ -111,6 +111,24 @@ func (e *Engine) RunUntil(limit Cycle) Cycle {
 	return e.now
 }
 
+// RunWhile executes events with timestamps <= limit for as long as cond
+// reports true; cond is evaluated before each event. If execution stops
+// because the next event lies beyond limit (cond still true), the clock
+// advances to limit — the "crash instant reached" case. If the queue
+// drains while cond is still true, the clock is left where it is: the
+// caller is waiting on something that will never fire (a deadlock it can
+// detect via Pending() == 0). It returns the current cycle.
+func (e *Engine) RunWhile(limit Cycle, cond func() bool) Cycle {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped && cond() && e.queue[0].when <= limit {
+		e.step()
+	}
+	if !e.stopped && cond() && len(e.queue) > 0 && e.queue[0].when > limit && e.now < limit {
+		e.now = limit
+	}
+	return e.now
+}
+
 func (e *Engine) step() {
 	ev := heap.Pop(&e.queue).(*event)
 	if ev.when > e.now {

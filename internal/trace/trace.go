@@ -48,10 +48,16 @@ func (k OpKind) String() string {
 }
 
 // Op is one trace operation. Addr is used by Load/Store; Cycles by Compute.
+// Token, when nonzero on a Store, asks the machine to record the store
+// version the write eventually commits with (Result.TokenVersions), so an
+// application layer can correlate its logical writes with the durable
+// image. At most one tagged store per (core, line) may be in flight at a
+// time — callers must separate same-line tagged stores with a Barrier.
 type Op struct {
 	Kind   OpKind
 	Addr   mem.Addr
 	Cycles sim.Cycle
+	Token  uint64
 }
 
 // Program is one trace per core.
@@ -98,6 +104,13 @@ func (b *Builder) Load(addr mem.Addr) *Builder {
 // Store appends a line write of addr.
 func (b *Builder) Store(addr mem.Addr) *Builder {
 	b.ops = append(b.ops, Op{Kind: Store, Addr: addr})
+	return b
+}
+
+// StoreTagged appends a line write of addr carrying a version-tracking
+// token (see Op.Token).
+func (b *Builder) StoreTagged(addr mem.Addr, token uint64) *Builder {
+	b.ops = append(b.ops, Op{Kind: Store, Addr: addr, Token: token})
 	return b
 }
 
