@@ -19,8 +19,11 @@
 // On SIGINT/SIGTERM the server stops accepting, drains the engine (every
 // outstanding epoch persists), verifies the recovery invariants against
 // the final NVRAM image, and prints the report. With -crash-at N the
-// simulated machine loses power at cycle N mid-service; the shutdown path
-// then verifies the crash image instead — the full Figure 10 story, live.
+// simulated machine loses power at cycle N mid-service: clients in the
+// batch that hit the instant still get their responses (flagged
+// "crashed":true — applied, durability no longer guaranteed), the server
+// immediately begins drain, and the shutdown path verifies the crash
+// image instead — the full Figure 10 story, live.
 //
 // -selfcheck N runs the deterministic crash-injection sweep (N seeded
 // crash instants under concurrent scripted load) without any networking
@@ -38,6 +41,7 @@ import (
 	"os/signal"
 	"sync"
 	"syscall"
+	"time"
 
 	"persistbarriers/internal/obs"
 	"persistbarriers/internal/pmkv"
@@ -155,13 +159,17 @@ type request struct {
 	Value string `json:"value"`
 }
 
-// response is the wire format of one server line.
+// response is the wire format of one server line. Crashed marks an
+// operation that was applied just as the simulated machine lost power:
+// the response reflects the volatile state, but durability is no longer
+// guaranteed and the server is shutting down.
 type response struct {
-	OK    bool              `json:"ok"`
-	Found bool              `json:"found,omitempty"`
-	Value string            `json:"value,omitempty"`
-	Error string            `json:"error,omitempty"`
-	Stats *obs.ServiceStats `json:"stats,omitempty"`
+	OK      bool              `json:"ok"`
+	Found   bool              `json:"found,omitempty"`
+	Value   string            `json:"value,omitempty"`
+	Crashed bool              `json:"crashed,omitempty"`
+	Error   string            `json:"error,omitempty"`
+	Stats   *obs.ServiceStats `json:"stats,omitempty"`
 }
 
 // job carries one request from a connection to the committer.
@@ -171,8 +179,9 @@ type job struct {
 }
 
 type jobReply struct {
-	resp pmkv.Response
-	err  error
+	resp    pmkv.Response
+	crashed bool
+	err     error
 }
 
 // server glues the listener, the per-connection readers, and the single
@@ -180,6 +189,7 @@ type jobReply struct {
 type server struct {
 	engine    *pmkv.Engine
 	collector *obs.Collector
+	ln        net.Listener
 
 	jobs chan job
 
@@ -204,6 +214,7 @@ func serve(addr string, cfg pmkv.Config) error {
 	s := &server{
 		engine:    engine,
 		collector: collector,
+		ln:        ln,
 		jobs:      make(chan job, 256),
 		conns:     make(map[net.Conn]bool),
 	}
@@ -219,7 +230,7 @@ func serve(addr string, cfg pmkv.Config) error {
 	go func() {
 		<-sigs
 		fmt.Fprintln(os.Stderr, "pmkvd: draining...")
-		s.beginDrain(ln)
+		s.beginDrain()
 	}()
 
 	fmt.Printf("pmkvd: serving on %s (%d cores, %s barrier, %d buckets)\n",
@@ -240,7 +251,7 @@ func serve(addr string, cfg pmkv.Config) error {
 		}()
 	}
 
-	s.beginDrain(ln) // idempotent; also covers listener errors
+	s.beginDrain() // idempotent; also covers listener errors
 	s.wg.Wait()
 	close(s.jobs)
 	<-committerDone
@@ -265,8 +276,11 @@ func (s *server) untrack(conn net.Conn) {
 	s.mu.Unlock()
 }
 
-// beginDrain stops accepting and unblocks connection readers.
-func (s *server) beginDrain(ln net.Listener) {
+// beginDrain stops accepting and unblocks connection readers. Readers are
+// unblocked with an immediate read deadline rather than a close, so an
+// in-flight response (the crashed-batch replies in particular) is still
+// written before the handler returns and closes its connection.
+func (s *server) beginDrain() {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -278,9 +292,9 @@ func (s *server) beginDrain(ln net.Listener) {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
-	ln.Close()
+	s.ln.Close()
 	for _, c := range conns {
-		c.Close()
+		c.SetReadDeadline(time.Now())
 	}
 }
 
@@ -307,6 +321,17 @@ func (s *server) commitLoop() {
 			reqs[i] = j.req
 		}
 		resps, err := s.engine.Apply(reqs)
+		if err == pmkv.ErrCrashed && len(resps) == len(batch) {
+			// The machine lost power during this batch, but every request
+			// was applied: answer the clients (flagged crashed) and start
+			// the drain so the process reaches crash-image verification.
+			// Later batches fall through below with an error reply.
+			for i, j := range batch {
+				j.reply <- jobReply{resp: resps[i], crashed: true}
+			}
+			s.beginDrain()
+			continue
+		}
 		for i, j := range batch {
 			r := jobReply{err: err}
 			if err == nil {
@@ -370,7 +395,7 @@ func (s *server) dispatch(sess *pmkv.Session, req request) response {
 	if r.err != nil {
 		return response{Error: r.err.Error()}
 	}
-	return response{OK: true, Found: r.resp.Found, Value: string(r.resp.Value)}
+	return response{OK: true, Found: r.resp.Found, Value: string(r.resp.Value), Crashed: r.crashed}
 }
 
 // finalReport closes the engine (drain, or crash snapshot if the machine

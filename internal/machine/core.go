@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"fmt"
+
 	"persistbarriers/internal/epoch"
 	"persistbarriers/internal/mem"
 	"persistbarriers/internal/trace"
@@ -43,10 +45,20 @@ func (m *Machine) stepCore(c *coreCtx) {
 		m.access(c, mem.Load, mem.LineOf(op.Addr), after)
 	case trace.Store:
 		if op.Token != 0 {
+			line := mem.LineOf(op.Addr)
 			if c.pendingTok == nil {
 				c.pendingTok = make(map[mem.Line]uint64)
 			}
-			c.pendingTok[mem.LineOf(op.Addr)] = op.Token
+			if prev, ok := c.pendingTok[line]; ok {
+				// Silently overwriting would bind the new token to the
+				// posted store's version and lose the old one, corrupting
+				// Result.TokenVersions. Same-line tagged stores must be
+				// separated by a barrier that drains the write buffer.
+				panic(fmt.Sprintf(
+					"machine: tagged store (token %d) to %v on core %d while token %d is still in flight to that line",
+					op.Token, line, c.id, prev))
+			}
+			c.pendingTok[line] = op.Token
 		}
 		m.postStore(c, mem.LineOf(op.Addr), after)
 	default:

@@ -142,3 +142,28 @@ func TestStreamFeedErrors(t *testing.T) {
 		t.Fatal("Feed after Drain accepted")
 	}
 }
+
+// TestStreamTaggedSameLineOverlapPanics: a second tagged store issued to
+// a line while the first is still posted in the write buffer must be a
+// hard error — silently rebinding the entry would attach the new token to
+// the first store's version and drop the old token from TokenVersions.
+func TestStreamTaggedSameLineOverlapPanics(t *testing.T) {
+	m, err := New(lbStreamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartStream(); err != nil {
+		t.Fatal(err)
+	}
+	var b trace.Builder
+	b.StoreTagged(0x1000, 7).StoreTagged(0x1000, 8) // no draining barrier between
+	if err := m.Feed(0, b.Ops()); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping same-line tagged stores did not panic")
+		}
+	}()
+	m.PumpUntilIdle(sim.MaxCycle)
+}

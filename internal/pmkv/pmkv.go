@@ -141,9 +141,12 @@ type OpRecord struct {
 	PubToken    uint64
 	EntryTokens []uint64
 	EntryLines  []mem.Line
-	// After is the bucket's logical contents once this publish applies —
-	// recovery state is rebuilt from the last durable publish per bucket.
-	After map[string][]byte
+	// Value is the value this publish installs (nil for Delete). Recovery
+	// replays each bucket's durable publishes, in the order their head
+	// stores committed, applying these deltas — the machine's commit order
+	// can differ from translate order for same-batch publishes, so a
+	// translate-time snapshot would misstate the durable contents.
+	Value []byte
 }
 
 // Engine is the durable KV store. All methods are safe for concurrent use;
@@ -167,9 +170,20 @@ type Engine struct {
 	closed  bool
 }
 
-// New builds an engine on a fresh streaming machine.
+// New builds an engine on a fresh streaming machine. The engine's token
+// correlation requires that a persist barrier drains every posted store
+// before the next op issues (a session's publish stores rewrite its bucket
+// heads, and two tagged stores to one line must never be in flight at
+// once), so the machine must use the LB model with programmer barriers:
+// NP ignores barriers and bulk-epoch mode makes them transparent.
 func New(cfg Config) (*Engine, error) {
 	cfg.fill()
+	if cfg.Machine.Model != machine.LB {
+		return nil, fmt.Errorf("pmkv: machine model %v unsupported: barriers must drain posted stores (use machine.LB)", cfg.Machine.Model)
+	}
+	if cfg.Machine.BulkEpochStores > 0 {
+		return nil, fmt.Errorf("pmkv: bulk-epoch mode (BulkEpochStores=%d) makes programmer barriers transparent; publish stores to one bucket head would overlap", cfg.Machine.BulkEpochStores)
+	}
 	m, err := machine.New(cfg.Machine)
 	if err != nil {
 		return nil, err
@@ -230,17 +244,6 @@ func (e *Engine) entryLinesFor(value []byte) []mem.Line {
 	return lines
 }
 
-// bucketSnapshot captures the logical contents of one bucket.
-func (e *Engine) bucketSnapshot(bucket int) map[string][]byte {
-	snap := make(map[string][]byte)
-	for k, v := range e.kv {
-		if e.bucketOf(k) == bucket {
-			snap[k] = v
-		}
-	}
-	return snap
-}
-
 // translate turns one request into a per-core op stream, updates the
 // volatile state, and records the audit trail for mutations.
 func (e *Engine) translate(req Request) (Response, []trace.Op, error) {
@@ -264,11 +267,13 @@ func (e *Engine) translate(req Request) (Response, []trace.Op, error) {
 		return Response{Found: ok, Value: val}, b.Ops(), nil
 
 	case Put:
+		val := append([]byte(nil), req.Value...)
 		rec := &OpRecord{
 			Sess: req.Sess.ID, Seq: seq, Core: req.Sess.Core,
 			Op: Put, Key: req.Key, Bucket: bucket, Head: head,
+			Value: val,
 		}
-		rec.EntryLines = e.entryLinesFor(req.Value)
+		rec.EntryLines = e.entryLinesFor(val)
 		b.Load(head.Addr())
 		for _, l := range rec.EntryLines {
 			e.nextToken++
@@ -282,11 +287,10 @@ func (e *Engine) translate(req Request) (Response, []trace.Op, error) {
 		b.Barrier()
 		b.TxEnd()
 
-		e.kv[req.Key] = req.Value
+		e.kv[req.Key] = val
 		e.entries[req.Key] = rec.EntryLines
-		rec.After = e.bucketSnapshot(bucket)
 		e.records = append(e.records, rec)
-		return Response{Found: true, Value: req.Value}, b.Ops(), nil
+		return Response{Found: true, Value: val}, b.Ops(), nil
 
 	case Delete:
 		_, found := e.kv[req.Key]
@@ -303,7 +307,6 @@ func (e *Engine) translate(req Request) (Response, []trace.Op, error) {
 
 		delete(e.kv, req.Key)
 		delete(e.entries, req.Key)
-		rec.After = e.bucketSnapshot(bucket)
 		e.records = append(e.records, rec)
 		return Response{Found: found}, b.Ops(), nil
 

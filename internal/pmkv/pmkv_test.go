@@ -1,9 +1,11 @@
 package pmkv
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
+	"persistbarriers/internal/machine"
 	"persistbarriers/internal/sim"
 )
 
@@ -75,6 +77,85 @@ func TestPutGetDelete(t *testing.T) {
 		if string(state[k]) != string(v) {
 			t.Fatalf("recovered[%q] = %q, want %q", k, state[k], v)
 		}
+	}
+}
+
+// TestCleanDrainContendedBucket: same-batch sessions publishing to one
+// bucket can commit in the opposite order of translation (value lengths
+// vary each session's path to its publish store), so recovery must replay
+// the bucket's publish deltas in committed order — a snapshot keyed to
+// the last durable head version would silently drop the other session's
+// acknowledged write. After a clean drain, recovered == volatile exactly.
+func TestCleanDrainContendedBucket(t *testing.T) {
+	e, err := New(Config{Buckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nSess = 4
+	sessions := make([]*Session, nSess)
+	for i := range sessions {
+		sessions[i] = e.NewSession()
+	}
+	// Distinct keys, all hashing to one bucket: every batch is pure
+	// same-bucket contention between different sessions' keys.
+	target := e.bucketOf("c000")
+	keys := make([]string, 0, nSess)
+	for i := 0; len(keys) < nSess; i++ {
+		k := fmt.Sprintf("c%03d", i)
+		if e.bucketOf(k) == target {
+			keys = append(keys, k)
+		}
+	}
+	for round := 0; round < 12; round++ {
+		batch := make([]Request, nSess)
+		for i, s := range sessions {
+			if round%5 == 4 && i == round%nSess {
+				batch[i] = Request{Sess: s, Op: Delete, Key: keys[i]}
+				continue
+			}
+			val := bytes.Repeat([]byte{byte('a' + i)}, 1+(round*37+i*113)%200)
+			batch[i] = Request{Sess: s, Op: Put, Key: keys[i], Value: val}
+		}
+		if _, err := e.Apply(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := e.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Verify(res); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	got, err := e.RecoveredState(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := e.Volatile()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d keys, want %d: a committed publish was dropped or invented", len(got), len(want))
+	}
+	for k, v := range want {
+		if string(got[k]) != string(v) {
+			t.Fatalf("recovered[%q] = %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+// TestNewRejectsUnsafeMachine: the engine's token correlation requires
+// barriers that drain posted stores, so configs where they don't (NP
+// ignores barriers; bulk-epoch mode makes them transparent) must be
+// rejected up front instead of corrupting TokenVersions at run time.
+func TestNewRejectsUnsafeMachine(t *testing.T) {
+	cfg := Config{Machine: SmallMachine()}
+	cfg.Machine.Model = machine.NP
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted an NP machine (barriers ignored)")
+	}
+	cfg = Config{Machine: SmallMachine()}
+	cfg.Machine.BulkEpochStores = 64
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted bulk-epoch mode (programmer barriers transparent)")
 	}
 }
 

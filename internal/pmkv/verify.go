@@ -172,37 +172,43 @@ func recoverySnapshot(state map[string][]byte) [][2]string {
 
 // RecoveredState reconstructs the durable key-value contents from the
 // crash image: for each bucket, the durable head version names the last
-// publish that persisted, and that publish's recorded after-state is the
-// bucket's recovered contents (its entries are durable by the atomicity
-// invariant Verify enforces).
+// publish that persisted (the line-rewrite conflict rules make every
+// earlier version of the head durable too), so the bucket's contents are
+// the deltas of its publishes up to that version, replayed in the order
+// their head stores committed. Commit order — not translate order — is
+// what NVRAM saw: two same-batch sessions publishing to one bucket can
+// commit in either order, and the recovered state must include both.
+// Entry durability is the atomicity invariant Verify enforces.
 func (e *Engine) RecoveredState(res *machine.Result) (map[string][]byte, error) {
 	e.mu.Lock()
 	records := e.records
 	buckets := e.cfg.Buckets
 	e.mu.Unlock()
 
-	byVersion := make(map[mem.Version]*OpRecord)
-	for _, r := range records {
-		if r.Op == Get {
-			continue
-		}
-		if v, ok := res.TokenVersions[r.PubToken]; ok {
-			byVersion[v] = r
-		}
-	}
+	byHead := publishesByHead(records, res.TokenVersions)
 	state := make(map[string][]byte)
 	for b := 0; b < buckets; b++ {
 		h := e.headLine(b)
-		v := res.Image[h]
-		if v == mem.NoVersion {
+		hv := res.Image[h]
+		if hv == mem.NoVersion {
 			continue
 		}
-		r, ok := byVersion[v]
-		if !ok {
-			return nil, fmt.Errorf("pmkv: bucket %d head holds version %d with no matching publish", b, v)
+		matched := false
+		for _, r := range byHead[h] {
+			v := res.TokenVersions[r.PubToken]
+			if v > hv {
+				break // committed after the durable head; lost at the crash
+			}
+			matched = matched || v == hv
+			switch r.Op {
+			case Put:
+				state[r.Key] = r.Value
+			case Delete:
+				delete(state, r.Key)
+			}
 		}
-		for k, val := range r.After {
-			state[k] = val
+		if !matched {
+			return nil, fmt.Errorf("pmkv: bucket %d head holds version %d with no matching publish", b, hv)
 		}
 	}
 	return state, nil
