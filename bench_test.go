@@ -66,6 +66,7 @@ func BenchmarkFig4IDT(b *testing.B) {
 	}
 	b.ReportMetric(float64(last.StallLB), "LB-conflict-stall-cycles")
 	b.ReportMetric(float64(last.StallIDT), "IDT-conflict-stall-cycles")
+	b.ReportMetric(float64(last.ExecLB+last.ExecIDT), "sim-cycles/op")
 }
 
 // BenchmarkFig11BEPThroughput regenerates Figure 11: micro-benchmark
@@ -220,7 +221,7 @@ func BenchmarkSimulatorCore(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
-	var events uint64
+	var events, cycles uint64
 	for i := 0; i < b.N; i++ {
 		cfg := machine.DefaultConfig()
 		cfg.Cores = spec.Threads
@@ -236,8 +237,10 @@ func BenchmarkSimulatorCore(b *testing.B) {
 			b.Fatal(err)
 		}
 		events += m.Engine().Fired()
+		cycles += uint64(m.Engine().Now())
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
 }
 
 func itoa(v int) string {

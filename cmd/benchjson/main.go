@@ -1,0 +1,283 @@
+// Command benchjson turns `go test -bench` output into a compact JSON
+// baseline and gates regressions against a committed one.
+//
+// It parses benchmark result lines (including -benchmem columns and
+// custom ReportMetric values), aggregates repeated -count runs per
+// benchmark by median (robust to the warm-up outliers of -benchtime 1x
+// runs), derives sim-cycles/sec for benchmarks that report a
+// sim-cycles/op metric, and writes the result as JSON.
+//
+// With -baseline it additionally compares the freshly parsed run against
+// a previously written JSON file and exits non-zero when any shared
+// benchmark's ns/op regressed by more than -threshold (default 10%).
+//
+// Usage:
+//
+//	go test -bench . -benchmem -count 5 | benchjson -out BENCH_PR4.json
+//	benchjson -out new.json -baseline BENCH_PR4.json bench-output.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's aggregated numbers.
+type Bench struct {
+	Runs     int     `json:"runs"`
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  float64 `json:"bytes_op,omitempty"`
+	AllocsOp float64 `json:"allocs_op,omitempty"`
+	// SimCyclesOp is the simulated cycles one iteration advances the
+	// machine clock by (from the benchmark's sim-cycles/op metric);
+	// SimCyclesPerSec is the derived simulation speed.
+	SimCyclesOp     float64            `json:"sim_cycles_op,omitempty"`
+	SimCyclesPerSec float64            `json:"sim_cycles_per_sec,omitempty"`
+	Metrics         map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the on-disk JSON schema.
+type File struct {
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "write aggregated results as JSON to this file")
+	baseline := flag.String("baseline", "", "compare against this baseline JSON and fail on regression")
+	threshold := flag.Float64("threshold", 0.10, "maximum allowed fractional ns/op regression vs the baseline")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	cur, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(cur.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results in input")
+		os.Exit(1)
+	}
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(cur, "", " ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *baseline == "" {
+		return
+	}
+	base, err := readFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if !compare(os.Stdout, base, cur, *threshold) {
+		os.Exit(1)
+	}
+}
+
+func readFile(path string) (*File, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &f, nil
+}
+
+// sample is the raw numbers of one benchmark run line. iters is go-test's
+// per-run iteration count: when one benchmark shows up at different
+// -benchtime settings, only the highest-iteration (most accurate) samples
+// are aggregated.
+type sample struct {
+	iters                   int
+	nsOp, bytesOp, allocsOp float64
+	metrics                 map[string]float64
+}
+
+// parse reads go-test benchmark output and aggregates repeated runs.
+func parse(r io.Reader) (*File, error) {
+	samples := make(map[string][]sample)
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iteration count, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		name := trimCPUSuffix(fields[0])
+		s := sample{iters: iters}
+		s.metrics = make(map[string]float64)
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				s.nsOp = v
+			case "B/op":
+				s.bytesOp = v
+			case "allocs/op":
+				s.allocsOp = v
+			default:
+				s.metrics[unit] = v
+			}
+		}
+		if !ok || s.nsOp == 0 {
+			continue
+		}
+		if _, seen := samples[name]; !seen {
+			order = append(order, name)
+		}
+		samples[name] = append(samples[name], s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := &File{Benchmarks: make(map[string]Bench, len(order))}
+	for _, name := range order {
+		ss := bestSamples(samples[name])
+		b := Bench{
+			Runs:     len(ss),
+			NsOp:     median(ss, func(s sample) float64 { return s.nsOp }),
+			BytesOp:  median(ss, func(s sample) float64 { return s.bytesOp }),
+			AllocsOp: median(ss, func(s sample) float64 { return s.allocsOp }),
+		}
+		units := make(map[string]bool)
+		for _, s := range ss {
+			for u := range s.metrics {
+				units[u] = true
+			}
+		}
+		if len(units) > 0 {
+			b.Metrics = make(map[string]float64, len(units))
+			for u := range units {
+				b.Metrics[u] = median(ss, func(s sample) float64 { return s.metrics[u] })
+			}
+		}
+		if cyc := b.Metrics["sim-cycles/op"]; cyc > 0 && b.NsOp > 0 {
+			b.SimCyclesOp = cyc
+			b.SimCyclesPerSec = cyc / b.NsOp * 1e9
+		}
+		out.Benchmarks[name] = b
+	}
+	return out, nil
+}
+
+// bestSamples keeps only the runs with the highest iteration count, so a
+// precise -benchtime 20x pass supersedes a coarse 1x pass of the same
+// benchmark in the same input.
+func bestSamples(ss []sample) []sample {
+	max := 0
+	for _, s := range ss {
+		if s.iters > max {
+			max = s.iters
+		}
+	}
+	best := ss[:0:0]
+	for _, s := range ss {
+		if s.iters == max {
+			best = append(best, s)
+		}
+	}
+	return best
+}
+
+// trimCPUSuffix drops go-test's "-8" GOMAXPROCS tag from a benchmark name.
+func trimCPUSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func median(ss []sample, get func(sample) float64) float64 {
+	vals := make([]float64, len(ss))
+	for i, s := range ss {
+		vals[i] = get(s)
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// compare prints a baseline-vs-current table and reports whether every
+// shared benchmark stayed within the allowed ns/op regression.
+func compare(w io.Writer, base, cur *File, threshold float64) bool {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	pass := true
+	fmt.Fprintf(w, "%-34s %14s %14s %8s\n", "benchmark", "base ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		nb := cur.Benchmarks[name]
+		bb, shared := base.Benchmarks[name]
+		if !shared || bb.NsOp == 0 {
+			fmt.Fprintf(w, "%-34s %14s %14.0f %8s\n", name, "-", nb.NsOp, "new")
+			continue
+		}
+		delta := (nb.NsOp - bb.NsOp) / bb.NsOp
+		status := ""
+		if delta > threshold {
+			status = "  REGRESSION"
+			pass = false
+		}
+		fmt.Fprintf(w, "%-34s %14.0f %14.0f %+7.1f%%%s\n", name, bb.NsOp, nb.NsOp, 100*delta, status)
+	}
+	if !pass {
+		fmt.Fprintf(w, "benchjson: ns/op regression beyond %.0f%% threshold\n", 100*threshold)
+	}
+	return pass
+}

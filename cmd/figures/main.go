@@ -44,6 +44,8 @@ func main() {
 	parallel := flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations per sweep (worker-pool size)")
 	cacheDir := flag.String("cache", "", "cache per-run summaries (content-addressed) in this directory")
 	verifyDet := flag.Bool("verify-determinism", false, "run every sweep job twice (parallel + serial) and fail on divergence")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (pprof) to this file on exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: figures [flags] <artifact>\nartifacts: %s\n",
 			strings.Join(artifactNames(), " "))
@@ -52,20 +54,25 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
+	if err := startProfiles(*cpuProfile, *memProfile); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		exit(1)
+	}
+	defer stopProfiles()
 	// Reject bad inputs before any sweep spins up workers.
 	if *threads < 0 || *threads > 32 {
 		fmt.Fprintf(os.Stderr, "figures: -threads must be in 1..32 (or 0 for the option set's default), got %d\n", *threads)
-		os.Exit(2)
+		exit(2)
 	}
 	if *parallel < 1 {
 		fmt.Fprintf(os.Stderr, "figures: -j must be >= 1, got %d\n", *parallel)
-		os.Exit(2)
+		exit(2)
 	}
 	if *microOps < 0 || *appOps < 0 {
 		fmt.Fprintf(os.Stderr, "figures: -microops and -appops must be >= 0\n")
-		os.Exit(2)
+		exit(2)
 	}
 
 	opt := harness.Defaults()
@@ -99,7 +106,7 @@ func main() {
 	if !known {
 		fmt.Fprintf(os.Stderr, "figures: unknown artifact %q (choose from: %s)\n",
 			name, strings.Join(artifactNames(), " "))
-		os.Exit(2)
+		exit(2)
 	}
 	names := []string{name}
 	if name == "all" {
@@ -116,7 +123,7 @@ func main() {
 		doc, err := runArtifact(a, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", a, err)
-			os.Exit(1)
+			exit(1)
 		}
 		if *jsonOut {
 			docs = append(docs, doc)
@@ -141,7 +148,7 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 }

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+var (
+	profilesStopped bool
+	cpuProfileFile  *os.File
+	memProfilePath  string
+)
+
+// startProfiles begins CPU profiling and/or arms a heap-profile dump.
+// Every exit path must run stopProfiles (the exit helper does), or the
+// profile files are left truncated.
+func startProfiles(cpu, mem string) error {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		cpuProfileFile = f
+	}
+	memProfilePath = mem
+	return nil
+}
+
+// stopProfiles finishes the CPU profile and writes the heap profile.
+// Idempotent: safe to call from both a defer and the exit helper.
+func stopProfiles() {
+	if profilesStopped {
+		return
+	}
+	profilesStopped = true
+	if cpuProfileFile != nil {
+		pprof.StopCPUProfile()
+		cpuProfileFile.Close()
+	}
+	if memProfilePath != "" {
+		f, err := os.Create(memProfilePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		runtime.GC() // settle live-heap numbers before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+		f.Close()
+	}
+}
+
+// exit terminates the process after flushing any active profiles.
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}

@@ -66,25 +66,32 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "print the run summary as JSON on stdout")
 		repeat     = flag.Int("repeat", 1, "run N times with seeds seed..seed+N-1 (one summary per run)")
 		parallel   = flag.Int("j", runtime.GOMAXPROCS(0), "worker-pool size for -repeat runs")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (pprof) to this file on exit")
 	)
 	flag.Parse()
+	if err := startProfiles(*cpuProfile, *memProfile); err != nil {
+		fmt.Fprintln(os.Stderr, "persistsim:", err)
+		exit(1)
+	}
+	defer stopProfiles()
 
 	// Reject bad inputs before any machine or worker pool is built.
 	if *threads < 1 || *threads > 32 {
 		fmt.Fprintf(os.Stderr, "persistsim: -threads must be in 1..32, got %d\n", *threads)
-		os.Exit(2)
+		exit(2)
 	}
 	if *ops < 1 {
 		fmt.Fprintf(os.Stderr, "persistsim: -ops must be >= 1, got %d\n", *ops)
-		os.Exit(2)
+		exit(2)
 	}
 	if *parallel < 1 {
 		fmt.Fprintf(os.Stderr, "persistsim: -j must be >= 1, got %d\n", *parallel)
-		os.Exit(2)
+		exit(2)
 	}
 	if *bulk < 0 {
 		fmt.Fprintf(os.Stderr, "persistsim: -bulk must be >= 0, got %d\n", *bulk)
-		os.Exit(2)
+		exit(2)
 	}
 
 	cfg := machine.DefaultConfig()
@@ -111,12 +118,12 @@ func main() {
 		cfg.IDT, cfg.PF = true, true
 	default:
 		fmt.Fprintf(os.Stderr, "persistsim: unknown barrier %q\n", *barrier)
-		os.Exit(2)
+		exit(2)
 	}
 	if *bulk > 0 {
 		if cfg.Model != machine.LB {
 			fmt.Fprintln(os.Stderr, "persistsim: -bulk requires an LB-family barrier")
-			os.Exit(2)
+			exit(2)
 		}
 		cfg.BulkEpochStores = *bulk
 		cfg.Logging = *logging
@@ -127,7 +134,7 @@ func main() {
 
 	if *repeat < 1 {
 		fmt.Fprintln(os.Stderr, "persistsim: -repeat must be >= 1")
-		os.Exit(2)
+		exit(2)
 	}
 	if *repeat > 1 {
 		runRepeat(cfg, *wl, *threads, *ops, *seed, *repeat, *parallel,
@@ -161,26 +168,26 @@ func main() {
 		p, err = prof.Generate(spec)
 	} else {
 		fmt.Fprintf(os.Stderr, "persistsim: unknown workload %q\n", *wl)
-		os.Exit(2)
+		exit(2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "persistsim:", err)
-		os.Exit(1)
+		exit(1)
 	}
 
 	m, err := machine.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "persistsim:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	if err := m.Load(p); err != nil {
 		fmt.Fprintln(os.Stderr, "persistsim:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	r, err := m.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "persistsim:", err)
-		os.Exit(1)
+		exit(1)
 	}
 
 	// Exports are written even for deadlocked runs — a trace of the
@@ -188,7 +195,7 @@ func main() {
 	if tracer != nil {
 		if err := writeFile(*traceOut, tracer.Export); err != nil {
 			fmt.Fprintln(os.Stderr, "persistsim:", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 	if sampler != nil {
@@ -198,7 +205,7 @@ func main() {
 		}
 		if err := writeFile(*metricsOut, export); err != nil {
 			fmt.Fprintln(os.Stderr, "persistsim:", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 
@@ -206,7 +213,7 @@ func main() {
 		printJSON(os.Stdout, *wl, spec, p, cfg, r)
 		if r.Deadlocked {
 			fmt.Fprintln(os.Stderr, "persistsim: DEADLOCKED (see §3.3 — enable splitting or fix barrier placement)")
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
@@ -221,7 +228,7 @@ func main() {
 	if r.Deadlocked {
 		// Diagnostics go to stderr so stdout stays machine-parseable.
 		fmt.Fprintln(os.Stderr, "persistsim: DEADLOCKED (see §3.3 — enable splitting or fix barrier placement)")
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Printf("exec cycles:     %d (drain at %d)\n", r.ExecCycles, r.DrainCycles)
 	fmt.Printf("transactions:    %d (%.3f per kilocycle)\n", r.Transactions, r.Throughput())
@@ -249,7 +256,7 @@ func runRepeat(cfg machine.Config, wl string, threads, ops int, seed uint64, n, 
 	prof, isApp := workload.Apps()[wl]
 	if !isMicro && !isApp {
 		fmt.Fprintf(os.Stderr, "persistsim: unknown workload %q\n", wl)
-		os.Exit(2)
+		exit(2)
 	}
 	type probeSet struct {
 		tracer  *obs.ChromeTracer
@@ -292,7 +299,7 @@ func runRepeat(cfg machine.Config, wl string, threads, ops int, seed uint64, n, 
 	results, err := harness.Sweep(jobs, harness.SweepOptions{Parallelism: parallel, AllowDeadlock: true})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "persistsim:", err)
-		os.Exit(1)
+		exit(1)
 	}
 
 	deadlocked := false
@@ -301,7 +308,7 @@ func runRepeat(cfg machine.Config, wl string, threads, ops int, seed uint64, n, 
 		if probes[i].tracer != nil {
 			if err := writeFile(seedPath(traceOut, specs[i].Seed), probes[i].tracer.Export); err != nil {
 				fmt.Fprintln(os.Stderr, "persistsim:", err)
-				os.Exit(1)
+				exit(1)
 			}
 		}
 		if probes[i].sampler != nil {
@@ -311,7 +318,7 @@ func runRepeat(cfg machine.Config, wl string, threads, ops int, seed uint64, n, 
 			}
 			if err := writeFile(seedPath(metricsOut, specs[i].Seed), export); err != nil {
 				fmt.Fprintln(os.Stderr, "persistsim:", err)
-				os.Exit(1)
+				exit(1)
 			}
 		}
 		if r.Deadlocked {
@@ -322,7 +329,7 @@ func runRepeat(cfg machine.Config, wl string, threads, ops int, seed uint64, n, 
 			p, err := jobs[i].Gen()
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "persistsim:", err)
-				os.Exit(1)
+				exit(1)
 			}
 			summaries = append(summaries, buildSummary(wl, specs[i], p, cfg, r))
 			continue
@@ -344,11 +351,11 @@ func runRepeat(cfg machine.Config, wl string, threads, ops int, seed uint64, n, 
 		enc.SetIndent("", " ")
 		if err := enc.Encode(summaries); err != nil {
 			fmt.Fprintln(os.Stderr, "persistsim:", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 	if deadlocked {
-		os.Exit(1)
+		exit(1)
 	}
 }
 
@@ -429,7 +436,7 @@ func printJSON(w *os.File, wl string, spec workload.Spec, p *trace.Program, cfg 
 	s := buildSummary(wl, spec, p, cfg, r)
 	if err := enc.Encode(&s); err != nil {
 		fmt.Fprintln(os.Stderr, "persistsim:", err)
-		os.Exit(1)
+		exit(1)
 	}
 }
 

@@ -3,6 +3,14 @@
 // to the usual valid/dirty state, the EpochID+CoreID tag extension of the
 // paper's Section 4.3, and the cache keeps the per-epoch line bookkeeping
 // that the paper's flush engines maintain as set bitmaps.
+//
+// Two hot-path properties matter to the simulator's throughput. Set
+// arrays are allocated lazily on first touch, so building a Table 1-sized
+// machine (32 MB of LLC way metadata) costs nothing for the many sets a
+// workload never references. And the per-epoch line bookkeeping keeps each
+// epoch's lines as an incrementally sorted slice, so the flush engine's
+// work list (LinesOf / AppendLinesOf) is already in deterministic order —
+// no sort on any flush.
 package cache
 
 import (
@@ -68,11 +76,15 @@ type way struct {
 // state container: all timing lives in the machine layer.
 type Cache struct {
 	cfg  Config
-	sets [][]way
+	sets [][]way // nil until the set is first touched
 	tick uint64
 	// byEpoch is the flush-engine bookkeeping: which resident lines
-	// belong to each unpersisted epoch.
-	byEpoch map[epoch.ID]map[mem.Line]struct{}
+	// belong to each unpersisted epoch, kept sorted at all times so the
+	// flush work list needs no sort.
+	byEpoch map[epoch.ID][]mem.Line
+	// setPool recycles drained epoch line slices; epochs are born and
+	// retired constantly and their sets are small.
+	setPool [][]mem.Line
 
 	stats Stats
 }
@@ -90,15 +102,11 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.Sets <= 0 || cfg.Ways <= 0 {
 		return nil, fmt.Errorf("cache %q: sets and ways must be positive (%d, %d)", cfg.Name, cfg.Sets, cfg.Ways)
 	}
-	c := &Cache{
+	return &Cache{
 		cfg:     cfg,
 		sets:    make([][]way, cfg.Sets),
-		byEpoch: make(map[epoch.ID]map[mem.Line]struct{}),
-	}
-	for i := range c.sets {
-		c.sets[i] = make([]way, cfg.Ways)
-	}
-	return c, nil
+		byEpoch: make(map[epoch.ID][]mem.Line),
+	}, nil
 }
 
 // MustNew is New for statically known-good configs; it panics on error.
@@ -117,8 +125,22 @@ func (c *Cache) setOf(line mem.Line) int {
 	return int((uint64(line) >> c.cfg.IndexShift) % uint64(c.cfg.Sets))
 }
 
+// setFor returns line's set, which is nil when never touched.
+func (c *Cache) setFor(line mem.Line) []way {
+	return c.sets[c.setOf(line)]
+}
+
+// ensureSet returns line's set, allocating its ways on first touch.
+func (c *Cache) ensureSet(line mem.Line) []way {
+	i := c.setOf(line)
+	if c.sets[i] == nil {
+		c.sets[i] = make([]way, c.cfg.Ways)
+	}
+	return c.sets[i]
+}
+
 func (c *Cache) find(line mem.Line) *way {
-	set := c.sets[c.setOf(line)]
+	set := c.setFor(line)
 	for i := range set {
 		if set[i].valid && set[i].line == line {
 			return &set[i]
@@ -158,7 +180,10 @@ func (c *Cache) Peek(line mem.Line) (Entry, bool) {
 // LRU — the cache avoids forcing epoch flushes while any cheaper victim
 // exists, mirroring the paper's reliance on natural replacements.
 func (c *Cache) Victim(line mem.Line) (Entry, bool) {
-	set := c.sets[c.setOf(line)]
+	set := c.setFor(line)
+	if set == nil {
+		return Entry{}, false
+	}
 	for i := range set {
 		if !set[i].valid {
 			return Entry{}, false
@@ -174,7 +199,10 @@ func (c *Cache) Victim(line mem.Line) (Entry, bool) {
 // victim needed); ok=false means the set is full and every way is
 // excluded, so insertion must be retried later.
 func (c *Cache) VictimAvoiding(line mem.Line, avoid func(mem.Line) bool) (Entry, bool, bool) {
-	set := c.sets[c.setOf(line)]
+	set := c.setFor(line)
+	if set == nil {
+		return Entry{}, false, true
+	}
 	for i := range set {
 		if !set[i].valid {
 			return Entry{}, false, true
@@ -255,7 +283,7 @@ func (c *Cache) Insert(line mem.Line, dirty bool, tag epoch.ID, version mem.Vers
 	if c.find(line) != nil {
 		panic(fmt.Sprintf("cache %q: inserting already-present %v", c.cfg.Name, line))
 	}
-	set := c.sets[c.setOf(line)]
+	set := c.ensureSet(line)
 	var slot *way
 	for i := range set {
 		if !set[i].valid {
@@ -352,42 +380,70 @@ func (c *Cache) Retag(line mem.Line, from, to epoch.ID) {
 }
 
 // LinesOf returns the resident lines tagged with the given epoch, in
-// deterministic (sorted) order — the flush engine's work list.
+// deterministic (sorted) order — the flush engine's work list. The slice
+// is freshly allocated; AppendLinesOf reuses a caller buffer instead.
 func (c *Cache) LinesOf(id epoch.ID) []mem.Line {
 	set := c.byEpoch[id]
 	if len(set) == 0 {
 		return nil
 	}
-	lines := make([]mem.Line, 0, len(set))
-	for l := range set {
-		lines = append(lines, l)
-	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
-	return lines
+	out := make([]mem.Line, len(set))
+	copy(out, set)
+	return out
+}
+
+// AppendLinesOf appends the epoch's resident lines (already sorted) to
+// dst and returns it. The flush engine calls this with a reused scratch
+// buffer, so steady-state flushes do not allocate; the snapshot semantics
+// let the caller clean or invalidate lines while iterating.
+func (c *Cache) AppendLinesOf(dst []mem.Line, id epoch.ID) []mem.Line {
+	return append(dst, c.byEpoch[id]...)
 }
 
 // EpochLineCount reports how many resident lines carry the given tag.
 func (c *Cache) EpochLineCount(id epoch.ID) int { return len(c.byEpoch[id]) }
 
+// addToEpoch inserts line into id's sorted line set. Epoch sets are small
+// (bounded by what one epoch writes while resident), so the binary search
+// plus copy stays cheap and the flush path never sorts.
 func (c *Cache) addToEpoch(id epoch.ID, line mem.Line) {
-	set := c.byEpoch[id]
-	if set == nil {
-		set = make(map[mem.Line]struct{})
-		c.byEpoch[id] = set
+	set, ok := c.byEpoch[id]
+	if !ok {
+		if n := len(c.setPool); n > 0 {
+			set = c.setPool[n-1][:0]
+			c.setPool = c.setPool[:n-1]
+		}
 	}
-	set[line] = struct{}{}
+	i := sort.Search(len(set), func(i int) bool { return set[i] >= line })
+	if i < len(set) && set[i] == line {
+		return
+	}
+	set = append(set, 0)
+	copy(set[i+1:], set[i:])
+	set[i] = line
+	c.byEpoch[id] = set
 }
 
 func (c *Cache) dropFromEpoch(id epoch.ID, line mem.Line) {
 	if !id.Valid() {
 		return
 	}
-	if set := c.byEpoch[id]; set != nil {
-		delete(set, line)
-		if len(set) == 0 {
-			delete(c.byEpoch, id)
-		}
+	set, ok := c.byEpoch[id]
+	if !ok {
+		return
 	}
+	i := sort.Search(len(set), func(i int) bool { return set[i] >= line })
+	if i >= len(set) || set[i] != line {
+		return
+	}
+	copy(set[i:], set[i+1:])
+	set = set[:len(set)-1]
+	if len(set) == 0 {
+		c.setPool = append(c.setPool, set)
+		delete(c.byEpoch, id)
+		return
+	}
+	c.byEpoch[id] = set
 }
 
 // DirtyLines returns every dirty resident line (sorted); the end-of-run

@@ -41,64 +41,73 @@ func (m *Machine) access(c *coreCtx, kind mem.Kind, line mem.Line, done func()) 
 // controller's MSHRs provide): competing requests queue behind the line's
 // busy signal, which eliminates ownership races and request livelock.
 func (m *Machine) atBank(c *coreCtx, kind mem.Kind, line mem.Line, b *bankCtx, done func()) {
-	if sig := m.busy[line]; sig != nil {
-		sig.Subscribe(func() { m.atBank(c, kind, line, b, done) })
+	ls := m.lines.get(line)
+	if ls.busy != nil {
+		ls.busy.Subscribe(func() { m.atBank(c, kind, line, b, done) })
 		return
 	}
 	sig := &sim.Signal{}
-	m.busy[line] = sig
-	if m.cfg.DebugLine != 0 {
-		m.busyInfo[line] = fmt.Sprintf("core=%d kind=%v at=%d", c.id, kind, m.eng.Now())
+	ls.busy = sig
+	if m.trackBusy {
+		ls.busyInfo = fmt.Sprintf("core=%d kind=%v at=%d", c.id, kind, m.eng.Now())
 	}
-	m.atBankLocked(c, kind, line, b, func() {
-		delete(m.busy, line)
-		delete(m.busyInfo, line)
+	// One retry closure serves every restart of this request (mshr merge,
+	// recall, fill, tag change, ownership race) instead of allocating a
+	// fresh continuation per hop.
+	var retry func()
+	release := func() {
+		ls.busy = nil
+		ls.busyInfo = ""
 		sig.Fire()
 		done()
-	})
+	}
+	retry = func() { m.atBankLocked(c, kind, line, b, ls, retry, release) }
+	m.atBankLocked(c, kind, line, b, ls, retry, release)
+}
+
+// busyPhase updates the line's transient-state holder description; only
+// called on paths that already checked m.trackBusy is cheap enough, so it
+// re-checks internally and is a no-op in normal runs.
+func (m *Machine) busyPhase(c *coreCtx, kind mem.Kind, ls *lineState, p string) {
+	if m.trackBusy && ls.busy != nil {
+		ls.busyInfo = fmt.Sprintf("core=%d kind=%v phase=%s at=%d", c.id, kind, p, m.eng.Now())
+	}
 }
 
 // atBankLocked processes a request that holds the line's transient state:
 // recall a remote modified copy, ensure residency, run the conflict check,
-// then grant.
-func (m *Machine) atBankLocked(c *coreCtx, kind mem.Kind, line mem.Line, b *bankCtx, done func()) {
-	phase := func(p string) {
-		if m.cfg.DebugLine == 0 {
-			return
-		}
-		if _, held := m.busy[line]; held {
-			m.busyInfo[line] = fmt.Sprintf("core=%d kind=%v phase=%s at=%d", c.id, kind, p, m.eng.Now())
-		}
-	}
-	if sig := m.mshr[line]; sig != nil {
+// then grant. retry restarts the locked request from the top; done
+// releases the busy signal and completes it.
+func (m *Machine) atBankLocked(c *coreCtx, kind mem.Kind, line mem.Line, b *bankCtx, ls *lineState, retry, done func()) {
+	if sig := ls.mshr; sig != nil {
 		// A fill for this line is in flight; merge behind it.
-		phase("mshr-wait")
-		sig.Subscribe(func() { m.atBankLocked(c, kind, line, b, done) })
+		m.busyPhase(c, kind, ls, "mshr-wait")
+		sig.Subscribe(retry)
 		return
 	}
-	d := m.dirEntryFor(line)
+	d := &ls.dir
 	if d.owner >= 0 && d.owner != c.id {
-		phase("recall")
-		m.recallOwner(c, kind, line, b, d, func() { m.atBankLocked(c, kind, line, b, done) })
+		m.busyPhase(c, kind, ls, "recall")
+		m.recallOwner(c, kind, line, b, d, retry)
 		return
 	}
 	if !b.arr.Contains(line) {
-		phase("fill")
-		m.llcFill(c, b, line, func() { m.atBankLocked(c, kind, line, b, done) })
+		m.busyPhase(c, kind, ls, "fill")
+		m.llcFill(c, b, line, ls, retry)
 		return
 	}
 	ent, _ := b.arr.Lookup(line)
-	phase("conflict")
+	m.busyPhase(c, kind, ls, "conflict")
 	m.resolveConflict(c, kind, line, ent.Tag, func(dep *epoch.Record) {
 		// An online resolution may have waited; if a new epoch's version
 		// landed in the LLC meanwhile, the conflict check must be redone
 		// against the fresh tag.
 		if cur, ok := b.arr.Peek(line); !ok || cur.Tag != ent.Tag {
-			m.atBankLocked(c, kind, line, b, done)
+			retry()
 			return
 		}
-		phase("grant")
-		m.grant(c, kind, line, b, d, dep, done)
+		m.busyPhase(c, kind, ls, "grant")
+		m.grant(c, kind, line, b, d, dep, retry, done)
 	})
 }
 
@@ -203,16 +212,16 @@ func (m *Machine) llcApplyWriteback(b *bankCtx, line mem.Line, tag epoch.ID, ver
 }
 
 // llcFill fetches a missing line from NVRAM into the bank.
-func (m *Machine) llcFill(c *coreCtx, b *bankCtx, line mem.Line, cont func()) {
+func (m *Machine) llcFill(c *coreCtx, b *bankCtx, line mem.Line, ls *lineState, cont func()) {
 	sig := &sim.Signal{}
-	m.mshr[line] = sig
+	ls.mshr = sig
 	mc := m.mcs.ControllerFor(line)
 	mcTile := m.mcTiles[mc.ID()]
 	m.eng.After(m.mesh.Latency(b.tile, mcTile, 0), func() {
 		mc.Read(line, func() {
 			m.eng.After(m.mesh.Latency(mcTile, b.tile, mem.LineSize), func() {
-				m.llcInsert(c, b, line, m.latest[line], func() {
-					delete(m.mshr, line)
+				m.llcInsert(c, b, line, ls.latest, func() {
+					ls.mshr = nil
 					sig.Fire()
 					cont()
 				})
@@ -232,8 +241,7 @@ func (m *Machine) llcInsert(c *coreCtx, b *bankCtx, line mem.Line, ver mem.Versi
 	// Never evict a line another request is actively transacting (its
 	// busy signal is held): stealing it mid-transfer livelocks under
 	// heavy set contention. If every way is busy, retry shortly.
-	avoid := func(l mem.Line) bool { return m.busy[l] != nil }
-	v, full, ok := b.arr.VictimAvoiding(line, avoid)
+	v, full, ok := b.arr.VictimAvoiding(line, m.avoidBusy)
 	if !ok {
 		m.eng.After(m.cfg.LLCLatency, func() { m.llcInsert(c, b, line, ver, cont) })
 		return
@@ -358,14 +366,15 @@ func (m *Machine) backInvalidate(line mem.Line, d *dirEntry) {
 
 // grant finishes a request at the bank: data response for loads,
 // ownership (with sharer invalidation) for stores. dep is the deferred
-// inter-thread dependence to attach at completion.
-func (m *Machine) grant(c *coreCtx, kind mem.Kind, line mem.Line, b *bankCtx, d *dirEntry, dep *epoch.Record, done func()) {
+// inter-thread dependence to attach at completion; retry restarts the
+// locked request.
+func (m *Machine) grant(c *coreCtx, kind mem.Kind, line mem.Line, b *bankCtx, d *dirEntry, dep *epoch.Record, retry, done func()) {
 	if !b.arr.Contains(line) {
-		m.atBankLocked(c, kind, line, b, done) // evicted while we waited: restart
+		retry() // evicted while we waited: restart
 		return
 	}
 	if kind == mem.Store && d.owner >= 0 && d.owner != c.id {
-		m.atBankLocked(c, kind, line, b, done) // ownership raced away: restart
+		retry() // ownership raced away: restart
 		return
 	}
 	ent, _ := b.arr.Peek(line)
@@ -397,7 +406,7 @@ func (m *Machine) grant(c *coreCtx, kind mem.Kind, line mem.Line, b *bankCtx, d 
 		// until the commit completes.
 		m.eng.After(respLat, func() {
 			m.l1Fill(c, line, ent.Version, func() {
-				m.tryCommitStoreEx(c, line, dep, true, done)
+				m.tryCommitStoreEx(c, line, dep, retry, done)
 			})
 		})
 		return
@@ -418,20 +427,14 @@ func (m *Machine) grant(c *coreCtx, kind mem.Kind, line mem.Line, b *bankCtx, d 
 // exactly one contender wins and the dependence lands on the epoch that
 // tags the line.
 func (m *Machine) tryCommitStore(c *coreCtx, line mem.Line, dep *epoch.Record, done func()) {
-	m.tryCommitStoreEx(c, line, dep, false, done)
+	m.tryCommitStoreEx(c, line, dep, nil, done)
 }
 
-// tryCommitStoreEx is tryCommitStore with locked reporting whether the
-// caller holds the line's busy signal (the grant path does; the exclusive
-// L1-hit path does not); restarts route accordingly.
-func (m *Machine) tryCommitStoreEx(c *coreCtx, line mem.Line, dep *epoch.Record, locked bool, done func()) {
-	restart := func() {
-		if locked {
-			m.atBankLocked(c, mem.Store, line, m.bank(line), done)
-			return
-		}
-		m.access(c, mem.Store, line, done)
-	}
+// tryCommitStoreEx is tryCommitStore with retry carrying the locked
+// request's restart continuation when the caller holds the line's busy
+// signal (the grant path does); the exclusive L1-hit path passes nil and
+// restarts through a fresh access instead.
+func (m *Machine) tryCommitStoreEx(c *coreCtx, line mem.Line, dep *epoch.Record, retry func(), done func()) {
 	d := m.dirEntryFor(line)
 	if ent, hit := c.l1.Peek(line); hit && (d.owner == c.id || d.owner == -1) {
 		// With posted stores, an earlier same-core store (or an epoch
@@ -447,7 +450,7 @@ func (m *Machine) tryCommitStoreEx(c *coreCtx, line mem.Line, dep *epoch.Record,
 				}
 				c.arb.DemandThrough(ent.Tag.Num, epoch.CauseIntra)
 				m.stallUntil(c, &rec.Persisted, StallIntra, func() {
-					m.tryCommitStoreEx(c, line, dep, locked, done)
+					m.tryCommitStoreEx(c, line, dep, retry, done)
 				})
 				return
 			}
@@ -458,14 +461,18 @@ func (m *Machine) tryCommitStoreEx(c *coreCtx, line mem.Line, dep *epoch.Record,
 			// and the world may have moved meanwhile. On the synchronous
 			// success path the recheck happens in this same event.
 			m.attachDep(c, dep, func() {
-				m.tryCommitStoreEx(c, line, nil, locked, done)
+				m.tryCommitStoreEx(c, line, nil, retry, done)
 			})
 			return
 		}
 		m.finishStore(c, line, done)
 		return
 	}
-	restart()
+	if retry != nil {
+		retry()
+		return
+	}
+	m.access(c, mem.Store, line, done)
 }
 
 // l1Fill installs a line into c's L1, writing back a dirty victim first.
@@ -514,12 +521,13 @@ func (m *Machine) finishStore(c *coreCtx, line mem.Line, done func()) {
 // first modification in the epoch (§5.2.1). It returns the new version.
 func (m *Machine) commitStore(c *coreCtx, line mem.Line) mem.Version {
 	ver := m.vs.Next()
-	m.latest[line] = ver
+	ls := m.lines.get(line)
+	ls.latest = ver
 	if tok, ok := c.pendingTok[line]; ok {
 		delete(c.pendingTok, line)
 		m.tokenVersions[tok] = ver
 	}
-	d := m.dirEntryFor(line)
+	d := &ls.dir
 	d.owner = c.id
 	d.sharers |= 1 << uint(c.id)
 	if !m.usesEpochs() {

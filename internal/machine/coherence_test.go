@@ -29,8 +29,8 @@ func TestReadAfterRemoteWriteSeesNewVersion(t *testing.T) {
 	if !ok {
 		t.Fatal("reader lost its copy")
 	}
-	if ent.Version != m.latest[0] {
-		t.Fatalf("reader has version %d, latest is %d", ent.Version, m.latest[0])
+	if ent.Version != m.latestVersion(0) {
+		t.Fatalf("reader has version %d, latest is %d", ent.Version, m.latestVersion(0))
 	}
 	if ent.Dirty {
 		t.Fatal("load produced a dirty copy")
@@ -60,9 +60,9 @@ func TestWriteAfterRemoteWriteChainsOwnership(t *testing.T) {
 	if !r.Finished {
 		t.Fatal("did not finish")
 	}
-	d := m.dir[0]
-	if d == nil || d.owner != 2 {
-		t.Fatalf("final owner = %v, want core 2", d)
+	ls := m.lines.lookup(0)
+	if ls == nil || ls.dir.owner != 2 {
+		t.Fatalf("final owner state = %+v, want core 2", ls)
 	}
 	// Exactly one dirty copy may exist, held by the owner.
 	dirty := 0

@@ -128,6 +128,13 @@ type Config struct {
 	// the trace is retrievable via Machine.DebugTrace. Diagnostic only.
 	DebugLine uint64
 
+	// TrackBusyInfo records a human-readable description of each line's
+	// transient-state holder (who owns the busy signal and why) for
+	// liveness diagnostics. Off by default: the strings are formatted on
+	// every access and nothing reads them in normal runs. A non-zero
+	// DebugLine implies the same tracking.
+	TrackBusyInfo bool
+
 	// Probe receives the observability event stream (epoch lifecycle,
 	// conflicts, flush handshakes, NVRAM/NoC samples) from every layer
 	// of the machine. Nil (the default) disables instrumentation; the

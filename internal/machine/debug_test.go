@@ -16,6 +16,7 @@ func TestLivenessDiagnostics(t *testing.T) {
 	cfg.LLCSets, cfg.LLCWays = 8, 2
 	cfg.IDT = true
 	cfg.DebugLine = 0x505
+	cfg.TrackBusyInfo = true
 	m, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -70,21 +71,22 @@ func TestLivenessDiagnostics(t *testing.T) {
 					if ent, ok := bb.arr.Peek(line); ok {
 						t.Logf("    in LLC-%d: dirty=%v tag=%v ver=%d", bb.id, ent.Dirty, ent.Tag, ent.Version)
 					}
-					d := m.dir[line]
-					if d != nil {
-						t.Logf("    dir owner=%d sharers=%b", d.owner, d.sharers)
+					if ls := m.lines.lookup(line); ls != nil {
+						t.Logf("    dir owner=%d sharers=%b", ls.dir.owner, ls.dir.sharers)
 					}
-					t.Logf("    image=%d latest=%d", m.mcs.Image()[line], m.latest[line])
+					t.Logf("    image=%d latest=%d", m.mcs.Image()[line], m.latestVersion(line))
 				}
 			}
 		}
 	}
-	for line, sig := range m.busy {
-		t.Logf("busy line %v fired=%v holder=%s", line, sig.Fired(), m.busyInfo[line])
-	}
-	for line := range m.mshr {
-		t.Logf("mshr line %v", line)
-	}
+	m.lines.forEach(func(ls *lineState) {
+		if ls.busy != nil {
+			t.Logf("busy line %v fired=%v holder=%s", ls.line, ls.busy.Fired(), ls.busyInfo)
+		}
+		if ls.mshr != nil {
+			t.Logf("mshr line %v", ls.line)
+		}
+	})
 	for _, l := range m.DebugTrace() {
 		t.Log(l)
 	}

@@ -61,7 +61,8 @@ func (m *Machine) flushEpoch(c *coreCtx, rec *epoch.Record, done func()) {
 	// FlushIssue interval; each bank may not start before its last line
 	// arrives (the EpochCMP precondition of §4.1).
 	bankReady := make([]sim.Cycle, len(m.banks))
-	for i, line := range c.l1.LinesOf(id) {
+	l1Lines := c.l1.AppendLinesOf(m.acquireLineBuf(), id)
+	for i, line := range l1Lines {
 		b := m.bank(line)
 		ent, _ := c.l1.Peek(line)
 		arrive := now + sim.Cycle(i)*m.cfg.FlushIssue + m.mesh.Latency(c.tile, b.tile, 64)
@@ -95,6 +96,7 @@ func (m *Machine) flushEpoch(c *coreCtx, rec *epoch.Record, done func()) {
 		}
 		c.l1.CleanLine(line)
 	}
+	m.releaseLineBuf(l1Lines)
 
 	// Step 4 happens when every bank has acked.
 	barrier := sim.NewBarrier(len(m.banks), func() {
@@ -127,11 +129,12 @@ func (m *Machine) bankFlush(c *coreCtx, b *bankCtx, rec *epoch.Record, barrier *
 		}
 		m.eng.After(m.mesh.Latency(b.tile, c.tile, 0), barrier.Arrive)
 	}
-	lines := b.arr.LinesOf(rec.ID)
+	lines := b.arr.AppendLinesOf(m.acquireLineBuf(), rec.ID)
 	if m.cfg.Probe.Active() {
 		m.cfg.Probe.BankFlushStart(m.eng.Now(), b.id, rec.ID.Core, rec.ID.Num, len(lines))
 	}
 	if len(lines) == 0 {
+		m.releaseLineBuf(lines)
 		bankAck()
 		return
 	}
@@ -175,4 +178,7 @@ func (m *Machine) bankFlush(c *coreCtx, b *bankCtx, rec *epoch.Record, barrier *
 			m.nvramWriteFrom(b.tile, rec, line, ent.Version, lineDone)
 		})
 	}
+	// Each scheduled closure captured its own line copy; the snapshot
+	// buffer itself is free to reuse.
+	m.releaseLineBuf(lines)
 }

@@ -133,13 +133,23 @@ type Machine struct {
 	cores []*coreCtx
 	banks []*bankCtx
 
-	dir      map[mem.Line]*dirEntry
-	mshr     map[mem.Line]*sim.Signal
-	busy     map[mem.Line]*sim.Signal
-	busyInfo map[mem.Line]string
-	latest   map[mem.Line]mem.Version
-	vs       mem.VersionSource
-	mcTiles  []noc.Tile
+	// lines interns all per-line state (directory, transient signals,
+	// latest version); see linetable.go.
+	lines lineTable
+	// trackBusy enables the busyInfo holder strings (Config.TrackBusyInfo
+	// or a DebugLine trace); off by default so the access hot path never
+	// formats a string nobody reads.
+	trackBusy bool
+	// avoidBusy is the victim filter llcInsert passes to VictimAvoiding,
+	// built once so the hot path does not allocate a closure per insert.
+	avoidBusy func(mem.Line) bool
+	// lineBufs is a free-list of flush-set scratch buffers; flushes can
+	// nest (a demanded flush inside flushEpoch), so buffers are acquired
+	// and released stack-wise rather than shared.
+	lineBufs [][]mem.Line
+
+	vs      mem.VersionSource
+	mcTiles []noc.Tile
 
 	// Conflict event counters (events, as opposed to per-epoch causes).
 	intraConflicts    uint64
@@ -192,12 +202,12 @@ func New(cfg Config) (*Machine, error) {
 		eng:           eng,
 		mesh:          mesh,
 		mcs:           mcs,
-		dir:           make(map[mem.Line]*dirEntry),
-		mshr:          make(map[mem.Line]*sim.Signal),
-		busy:          make(map[mem.Line]*sim.Signal),
-		busyInfo:      make(map[mem.Line]string),
-		latest:        make(map[mem.Line]mem.Version),
+		trackBusy:     cfg.TrackBusyInfo || cfg.DebugLine != 0,
 		tokenVersions: make(map[uint64]mem.Version),
+	}
+	m.avoidBusy = func(l mem.Line) bool {
+		ls := m.lines.lookup(l)
+		return ls != nil && ls.busy != nil
 	}
 
 	if cfg.Probe.Active() {
@@ -293,12 +303,34 @@ func (m *Machine) bank(line mem.Line) *bankCtx {
 }
 
 func (m *Machine) dirEntryFor(line mem.Line) *dirEntry {
-	d := m.dir[line]
-	if d == nil {
-		d = &dirEntry{owner: -1}
-		m.dir[line] = d
+	return &m.lines.get(line).dir
+}
+
+// latestVersion reports the newest committed version of line (0 if the
+// line was never written).
+func (m *Machine) latestVersion(line mem.Line) mem.Version {
+	if ls := m.lines.lookup(line); ls != nil {
+		return ls.latest
 	}
-	return d
+	return 0
+}
+
+// acquireLineBuf returns an empty flush-set scratch buffer, reusing a
+// released one when available.
+func (m *Machine) acquireLineBuf() []mem.Line {
+	if n := len(m.lineBufs); n > 0 {
+		buf := m.lineBufs[n-1]
+		m.lineBufs = m.lineBufs[:n-1]
+		return buf[:0]
+	}
+	return nil
+}
+
+// releaseLineBuf returns a scratch buffer to the free-list.
+func (m *Machine) releaseLineBuf(buf []mem.Line) {
+	if cap(buf) > 0 {
+		m.lineBufs = append(m.lineBufs, buf)
+	}
 }
 
 // Load installs a program onto the cores. Traces beyond Config.Cores are

@@ -194,10 +194,12 @@ func (m *Machine) result() *Result {
 	if m.cfg.RecordHistory {
 		r.Image = m.mcs.Image()
 		r.UndoLog = m.mcs.Log()
-		r.Latest = make(map[mem.Line]mem.Version, len(m.latest))
-		for l, v := range m.latest {
-			r.Latest[l] = v
-		}
+		r.Latest = make(map[mem.Line]mem.Version)
+		m.lines.forEach(func(ls *lineState) {
+			if ls.latest != 0 {
+				r.Latest[ls.line] = ls.latest
+			}
+		})
 	}
 	if len(m.tokenVersions) > 0 {
 		r.TokenVersions = make(map[uint64]mem.Version, len(m.tokenVersions))

@@ -1,0 +1,29 @@
+// Command fpdump prints the recovered-state fingerprint of every crash
+// instant of a scripted pmkv sweep — the byte-identity baseline used to
+// prove optimizations changed speed, not semantics.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"persistbarriers/internal/pmkv"
+)
+
+func main() {
+	spec := pmkv.ScriptSpec{Sessions: 4, Rounds: 16, KeySpace: 24, ValueBytes: 192, Seed: 7}
+	clean, err := pmkv.RunScript(pmkv.Config{}, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpdump:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("clean cycles=%d fp=%s\n", clean.Cycles, clean.Report.Fingerprint)
+	for _, at := range pmkv.SweepInstants(clean.Cycles, 200) {
+		out, err := pmkv.RunScript(pmkv.Config{CrashAt: at}, spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpdump:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("at=%d crashed=%v cycles=%d fp=%s\n", at, out.Crashed, out.Cycles, out.Report.Fingerprint)
+	}
+}

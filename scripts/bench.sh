@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# bench.sh — run the top-level benchmark suite and emit BENCH_PR4.json.
+#
+# Usage: scripts/bench.sh [-quick] [-out FILE] [-compare BASELINE] [-count N]
+#
+#   -quick            run only the headline benchmarks (Fig4 kernel,
+#                     simulator core, machine construction) — the CI gate
+#   -out FILE         where to write the aggregated JSON
+#                     (default BENCH_PR4.json)
+#   -compare BASELINE also compare against a committed baseline JSON and
+#                     fail on >10% ns/op regression (see cmd/benchjson)
+#   -count N          runs per benchmark (default 7 quick / 5 full)
+#
+# Heavy benchmarks (full-figure sweeps, seconds per iteration) run at
+# -benchtime 1x -count N: each iteration is a full deterministic
+# experiment, and repeated single runs aggregated by median
+# (cmd/benchjson) beat Go's duration targeting on small machines. The
+# sub-millisecond headline benchmarks additionally run at -benchtime 20x,
+# which amortizes single-iteration timing noise; cmd/benchjson keeps the
+# highest-iteration samples when a benchmark appears in both passes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+out=BENCH_PR4.json
+compare=""
+count=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -quick) quick=1 ;;
+    -out)
+        out=$2
+        shift
+        ;;
+    -compare)
+        compare=$2
+        shift
+        ;;
+    -count)
+        count=$2
+        shift
+        ;;
+    *)
+        echo "usage: scripts/bench.sh [-quick] [-out FILE] [-compare BASELINE] [-count N]" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
+
+headline='^(BenchmarkFig4IDT|BenchmarkSimulatorCore|BenchmarkTable1Config)$'
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+hcount=${count:-7}
+if [ "$quick" = 0 ]; then
+    go test -run '^$' -bench '.' -benchmem -benchtime 1x -count "${count:-5}" . | tee "$tmp"
+fi
+go test -run '^$' -bench "$headline" -benchmem -benchtime 20x -count "$hcount" . | tee -a "$tmp"
+
+args=(-out "$out")
+if [ -n "$compare" ]; then
+    args+=(-baseline "$compare")
+fi
+go run ./cmd/benchjson "${args[@]}" "$tmp"
+echo "bench.sh: wrote $out"
