@@ -1,9 +1,10 @@
-// Command pmkvd serves the pmkv durable key-value engine over TCP. Each
-// connection is one client session (its operations execute in program
-// order on a simulated core); a committer goroutine batches whatever
-// requests are pending into one group commit, so concurrent connections
-// become concurrent cores contending on bucket heads — inter-thread IDT
-// edges, resolved by the paper's barrier hardware.
+// Command pmkvd serves the pmkv durable key-value engine over TCP. With
+// -shards N the keyspace is partitioned by a stable hash across N
+// independent simulated machines, each owned by one worker goroutine
+// running a pipelined group commit: batch k+1 is translated while batch
+// k's persist barriers drain, and a client's ack is released only when
+// the shard's durable-prefix watermark covers its write. Connections
+// route to shards through a pure hash — no global lock on the data path.
 //
 // Protocol: one JSON object per line.
 //
@@ -14,21 +15,23 @@
 //	-> {"op":"del","key":"user:7"}
 //	<- {"ok":true,"found":true}
 //	-> {"op":"stats"}
-//	<- {"ok":true,"stats":{"cycle":...,"epochs_persisted":...,...}}
+//	<- {"ok":true,"stats":{...aggregate...},"shards":[{...per shard...}]}
 //
-// On SIGINT/SIGTERM the server stops accepting, drains the engine (every
-// outstanding epoch persists), verifies the recovery invariants against
-// the final NVRAM image, and prints the report. With -crash-at N the
-// simulated machine loses power at cycle N mid-service: clients in the
-// batch that hit the instant still get their responses (flagged
-// "crashed":true — applied, durability no longer guaranteed), the server
-// immediately begins drain, and the shutdown path verifies the crash
-// image instead — the full Figure 10 story, live.
+// On SIGINT/SIGTERM the server stops accepting, quiesces every shard
+// mailbox (requests racing the drain are either committed before the
+// final barrier or refused with "draining" — never applied after the
+// recovery snapshot), drains and verifies every shard, and prints the
+// per-shard and combined reports. With -crash-at N every shard loses
+// power at cycle N of its own clock; clients in a crashing batch still
+// get their responses (flagged "crashed":true) and the server drains the
+// surviving shards and verifies every crash image.
 //
 // -selfcheck N runs the deterministic crash-injection sweep (N seeded
 // crash instants under concurrent scripted load) without any networking
-// and exits nonzero on the first invariant violation; CI uses it as the
-// crash smoke test.
+// and exits nonzero on the first invariant violation; with -shards > 1
+// the sweep fans each instant out to every shard and checks the combined
+// fingerprint for deterministic recovery. CI uses it as the crash smoke
+// test.
 package main
 
 import (
@@ -46,15 +49,19 @@ import (
 	"persistbarriers/internal/obs"
 	"persistbarriers/internal/pmkv"
 	"persistbarriers/internal/sim"
+	"persistbarriers/internal/wire"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7070", "listen address")
-		cores   = flag.Int("cores", 4, "simulated cores (1..32); sessions map onto cores round-robin")
-		buckets = flag.Int("buckets", 64, "hash-table buckets")
-		gap     = flag.Uint64("gap", 200, "simulated cycles between request batches")
-		crashAt = flag.Uint64("crash-at", 0, "simulated power loss at this cycle (0 = never)")
+		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
+		shards   = flag.Int("shards", 1, "independent engine shards (1..256); keys route by stable hash")
+		cores    = flag.Int("cores", 4, "simulated cores per shard (1..32); sessions map onto cores round-robin")
+		buckets  = flag.Int("buckets", 64, "hash-table buckets per shard")
+		gap      = flag.Uint64("gap", 200, "simulated cycles between request batches")
+		crashAt  = flag.Uint64("crash-at", 0, "simulated power loss at this cycle of each shard's clock (0 = never)")
+		mailbox  = flag.Int("mailbox", 256, "per-shard request queue depth")
+		maxbatch = flag.Int("maxbatch", 64, "max requests per group commit")
 
 		selfcheck = flag.Int("selfcheck", 0, "run N crash-injection instants and exit (no server)")
 		sessions  = flag.Int("sessions", 6, "selfcheck: concurrent scripted sessions")
@@ -69,11 +76,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pmkvd: "+format+"\n", args...)
 		os.Exit(2)
 	}
+	if *shards < 1 || *shards > pmkv.MaxShards {
+		fail("-shards must be in 1..%d, got %d", pmkv.MaxShards, *shards)
+	}
 	if *cores < 1 || *cores > 32 {
 		fail("-cores must be in 1..32, got %d", *cores)
 	}
 	if *buckets < 1 {
 		fail("-buckets must be >= 1, got %d", *buckets)
+	}
+	if *mailbox < 1 {
+		fail("-mailbox must be >= 1, got %d", *mailbox)
+	}
+	if *maxbatch < 1 {
+		fail("-maxbatch must be >= 1, got %d", *maxbatch)
 	}
 	if *selfcheck < 0 {
 		fail("-selfcheck must be >= 0, got %d", *selfcheck)
@@ -90,11 +106,16 @@ func main() {
 
 	mcfg := pmkv.SmallMachine()
 	mcfg.Cores = *cores
-	cfg := pmkv.Config{
-		Machine:  mcfg,
-		Buckets:  *buckets,
-		BatchGap: sim.Cycle(*gap),
-		CrashAt:  sim.Cycle(*crashAt),
+	cfg := pmkv.ShardedConfig{
+		Shards: *shards,
+		Engine: pmkv.Config{
+			Machine:  mcfg,
+			Buckets:  *buckets,
+			BatchGap: sim.Cycle(*gap),
+			CrashAt:  sim.Cycle(*crashAt),
+		},
+		Mailbox:  *mailbox,
+		MaxBatch: *maxbatch,
 	}
 	spec := pmkv.ScriptSpec{
 		Sessions: *sessions,
@@ -104,7 +125,13 @@ func main() {
 	}
 
 	if *selfcheck > 0 {
-		if err := runSelfcheck(cfg, spec, *selfcheck); err != nil {
+		var err error
+		if *shards > 1 {
+			err = runShardedSelfcheck(cfg, spec, *selfcheck)
+		} else {
+			err = runSelfcheck(cfg.Engine, spec, *selfcheck)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "pmkvd: selfcheck FAILED:", err)
 			os.Exit(1)
 		}
@@ -116,10 +143,10 @@ func main() {
 	}
 }
 
-// runSelfcheck executes the crash-injection sweep: one clean run to size
-// the cycle span, then n evenly spaced crash instants, each fully
-// verified (epoch order, prefix closure, KV atomicity, session order) and
-// checked for deterministic recovery.
+// runSelfcheck executes the single-engine crash-injection sweep: one
+// clean run to size the cycle span, then n evenly spaced crash instants,
+// each fully verified (epoch order, prefix closure, KV atomicity, session
+// order) and checked for deterministic recovery.
 func runSelfcheck(cfg pmkv.Config, spec pmkv.ScriptSpec, n int) error {
 	cfg.CrashAt = 0
 	clean, err := pmkv.RunScript(cfg, spec)
@@ -152,6 +179,46 @@ func runSelfcheck(cfg pmkv.Config, spec pmkv.ScriptSpec, n int) error {
 	return nil
 }
 
+// runShardedSelfcheck fans each crash instant out to every shard and
+// checks that the combined per-shard fingerprint is reproducible.
+func runShardedSelfcheck(cfg pmkv.ShardedConfig, spec pmkv.ScriptSpec, n int) error {
+	cfg.Engine.CrashAt = 0
+	clean, err := pmkv.RunShardedScript(cfg, spec)
+	if err != nil {
+		return fmt.Errorf("clean run: %w", err)
+	}
+	var span sim.Cycle
+	for _, r := range clean.PerShard {
+		if r.Cycles > span {
+			span = r.Cycles
+		}
+	}
+	fmt.Printf("clean run: %d shards, span %d cycles, %d publishes, combined fingerprint %.16s\n",
+		len(clean.PerShard), span, clean.TotalPublishes(), clean.Fingerprint)
+	crashed := 0
+	for i, at := range pmkv.SweepInstants(span, n) {
+		ccfg := cfg
+		ccfg.Engine.CrashAt = at
+		out, err := pmkv.RunShardedScript(ccfg, spec)
+		if err != nil {
+			return fmt.Errorf("crash %d/%d at cycle %d: %w", i+1, n, at, err)
+		}
+		again, err := pmkv.RunShardedScript(ccfg, spec)
+		if err != nil {
+			return fmt.Errorf("crash %d/%d at cycle %d (replay): %w", i+1, n, at, err)
+		}
+		if out.Fingerprint != again.Fingerprint {
+			return fmt.Errorf("crash %d/%d at cycle %d: combined recovery not deterministic", i+1, n, at)
+		}
+		if out.Crashed {
+			crashed++
+		}
+	}
+	fmt.Printf("selfcheck OK: %d shards x %d instants (%d mid-run crashes), all invariants held, recovery deterministic\n",
+		cfg.Shards, n, crashed)
+	return nil
+}
+
 // request is the wire format of one client line.
 type request struct {
 	Op    string `json:"op"`
@@ -159,39 +226,26 @@ type request struct {
 	Value string `json:"value"`
 }
 
-// response is the wire format of one server line. Crashed marks an
-// operation that was applied just as the simulated machine lost power:
-// the response reflects the volatile state, but durability is no longer
-// guaranteed and the server is shutting down.
-type response struct {
-	OK      bool              `json:"ok"`
-	Found   bool              `json:"found,omitempty"`
-	Value   string            `json:"value,omitempty"`
-	Crashed bool              `json:"crashed,omitempty"`
-	Error   string            `json:"error,omitempty"`
-	Stats   *obs.ServiceStats `json:"stats,omitempty"`
+// shardStats is the per-shard element of a stats reply: the shard's
+// commit-pipeline counters plus its engine's service metrics.
+type shardStats struct {
+	pmkv.ShardMetrics
+	Service obs.ServiceStats `json:"service"`
 }
 
-// job carries one request from a connection to the committer.
-type job struct {
-	req   pmkv.Request
-	reply chan jobReply
+// statsReply is the (cold-path) stats line.
+type statsReply struct {
+	OK     bool             `json:"ok"`
+	Stats  obs.ServiceStats `json:"stats"`
+	Shards []shardStats     `json:"shards"`
 }
 
-type jobReply struct {
-	resp    pmkv.Response
-	crashed bool
-	err     error
-}
-
-// server glues the listener, the per-connection readers, and the single
-// committer goroutine that owns the engine's forward progress.
+// server glues the listener, the per-connection readers, and the sharded
+// store whose workers own all engine forward progress.
 type server struct {
-	engine    *pmkv.Engine
-	collector *obs.Collector
-	ln        net.Listener
-
-	jobs chan job
+	store      *pmkv.ShardedStore
+	collectors []*obs.Collector
+	ln         net.Listener
 
 	mu       sync.Mutex
 	conns    map[net.Conn]bool
@@ -200,30 +254,35 @@ type server struct {
 	wg sync.WaitGroup
 }
 
-func serve(addr string, cfg pmkv.Config) error {
-	collector := obs.NewCollector(0)
-	cfg.Machine.Probe = obs.NewProbe(collector)
-	engine, err := pmkv.New(cfg)
+func serve(addr string, cfg pmkv.ShardedConfig) error {
+	collectors := make([]*obs.Collector, cfg.Shards)
+	for i := range collectors {
+		collectors[i] = obs.NewCollector(0)
+	}
+	cfg.ConfigureShard = func(shard int, ecfg *pmkv.Config) {
+		ecfg.Machine.Probe = obs.NewProbe(collectors[shard])
+	}
+
+	s := &server{
+		collectors: collectors,
+		conns:      make(map[net.Conn]bool),
+	}
+	// OnCrash runs on the crashing shard's worker goroutine; the drain must
+	// start elsewhere (BeginDrain waits on producers only workers unblock).
+	cfg.OnCrash = func(shard int) {
+		fmt.Fprintf(os.Stderr, "pmkvd: shard %d lost power, draining...\n", shard)
+		go s.beginDrain()
+	}
+	store, err := pmkv.NewSharded(cfg)
 	if err != nil {
 		return err
 	}
+	s.store = store
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	s := &server{
-		engine:    engine,
-		collector: collector,
-		ln:        ln,
-		jobs:      make(chan job, 256),
-		conns:     make(map[net.Conn]bool),
-	}
-
-	committerDone := make(chan struct{})
-	go func() {
-		defer close(committerDone)
-		s.commitLoop()
-	}()
+	s.ln = ln
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
@@ -233,8 +292,8 @@ func serve(addr string, cfg pmkv.Config) error {
 		s.beginDrain()
 	}()
 
-	fmt.Printf("pmkvd: serving on %s (%d cores, %s barrier, %d buckets)\n",
-		ln.Addr(), cfg.Machine.Cores, cfg.Machine.BarrierName(), cfg.Buckets)
+	fmt.Printf("pmkvd: serving on %s (%d shards, %d cores each, %s barrier, %d buckets)\n",
+		ln.Addr(), cfg.Shards, cfg.Engine.Machine.Cores, cfg.Engine.Machine.BarrierName(), cfg.Engine.Buckets)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -253,8 +312,6 @@ func serve(addr string, cfg pmkv.Config) error {
 
 	s.beginDrain() // idempotent; also covers listener errors
 	s.wg.Wait()
-	close(s.jobs)
-	<-committerDone
 
 	return s.finalReport()
 }
@@ -276,10 +333,13 @@ func (s *server) untrack(conn net.Conn) {
 	s.mu.Unlock()
 }
 
-// beginDrain stops accepting and unblocks connection readers. Readers are
-// unblocked with an immediate read deadline rather than a close, so an
-// in-flight response (the crashed-batch replies in particular) is still
-// written before the handler returns and closes its connection.
+// beginDrain stops accepting, quiesces every shard mailbox, and unblocks
+// connection readers. Ordering matters: the store drain comes first, so a
+// request that races it is either already in a mailbox (committed and
+// acked before the final barrier) or refused with ErrDraining — and the
+// readers are then unblocked with an immediate deadline rather than a
+// close, so in-flight responses (the crashed-batch replies in particular)
+// are still written before each handler returns.
 func (s *server) beginDrain() {
 	s.mu.Lock()
 	if s.draining {
@@ -293,64 +353,24 @@ func (s *server) beginDrain() {
 	}
 	s.mu.Unlock()
 	s.ln.Close()
+	s.store.BeginDrain()
 	for _, c := range conns {
 		c.SetReadDeadline(time.Now())
 	}
 }
 
-// commitLoop is the engine's single writer: it gathers every job waiting
-// on the channel into one batch (group commit) and applies it. Requests
-// arriving while a batch runs queue up for the next one.
-func (s *server) commitLoop() {
-	for first := range s.jobs {
-		batch := []job{first}
-	gather:
-		for {
-			select {
-			case j, ok := <-s.jobs:
-				if !ok {
-					break gather
-				}
-				batch = append(batch, j)
-			default:
-				break gather
-			}
-		}
-		reqs := make([]pmkv.Request, len(batch))
-		for i, j := range batch {
-			reqs[i] = j.req
-		}
-		resps, err := s.engine.Apply(reqs)
-		if err == pmkv.ErrCrashed && len(resps) == len(batch) {
-			// The machine lost power during this batch, but every request
-			// was applied: answer the clients (flagged crashed) and start
-			// the drain so the process reaches crash-image verification.
-			// Later batches fall through below with an error reply.
-			for i, j := range batch {
-				j.reply <- jobReply{resp: resps[i], crashed: true}
-			}
-			s.beginDrain()
-			continue
-		}
-		for i, j := range batch {
-			r := jobReply{err: err}
-			if err == nil {
-				r.resp = resps[i]
-			}
-			j.reply <- r
-		}
-	}
-}
-
-// handle runs one connection: a session bound to a core, requests in
-// program order.
+// handle runs one connection: a session whose operations execute in
+// program order on each shard. The response path is allocation-free at
+// steady state: one reused encode buffer and one bufio.Writer, both sized
+// once per connection.
 func (s *server) handle(conn net.Conn) {
 	defer s.untrack(conn)
 	defer conn.Close()
-	sess := s.engine.NewSession()
+	sess := s.store.NewSession()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	enc := json.NewEncoder(conn)
+	w := bufio.NewWriterSize(conn, 32<<10)
+	buf := make([]byte, 0, 4<<10)
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -358,17 +378,24 @@ func (s *server) handle(conn net.Conn) {
 		}
 		var req request
 		if err := json.Unmarshal(line, &req); err != nil {
-			enc.Encode(response{Error: "bad request: " + err.Error()})
-			continue
+			buf = wire.AppendResponse(buf[:0], &wire.Response{Error: "bad request: " + err.Error()})
+		} else if req.Op == "stats" {
+			buf = s.appendStats(buf[:0])
+		} else {
+			resp := s.dispatch(sess, req)
+			buf = wire.AppendResponse(buf[:0], &resp)
 		}
-		resp := s.dispatch(sess, req)
-		if err := enc.Encode(resp); err != nil {
+		if _, err := w.Write(buf); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
 			return
 		}
 	}
 }
 
-func (s *server) dispatch(sess *pmkv.Session, req request) response {
+// dispatch routes one data operation to its shard and shapes the ack.
+func (s *server) dispatch(sess *pmkv.ShardedSession, req request) wire.Response {
 	var op pmkv.Op
 	switch req.Op {
 	case "get":
@@ -377,53 +404,70 @@ func (s *server) dispatch(sess *pmkv.Session, req request) response {
 		op = pmkv.Put
 	case "del":
 		op = pmkv.Delete
-	case "stats":
-		st := s.collector.Snapshot()
-		return response{OK: true, Stats: &st}
 	default:
-		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+		return wire.Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
 	if req.Key == "" {
-		return response{Error: "missing key"}
+		return wire.Response{Error: "missing key"}
 	}
-	j := job{
-		req:   pmkv.Request{Sess: sess, Op: op, Key: req.Key, Value: []byte(req.Value)},
-		reply: make(chan jobReply, 1),
+	ack := s.store.Do(sess, op, req.Key, []byte(req.Value))
+	switch {
+	case ack.Err == pmkv.ErrDraining:
+		return wire.Response{Error: "draining"}
+	case ack.Err != nil:
+		return wire.Response{Error: ack.Err.Error()}
 	}
-	s.jobs <- j
-	r := <-j.reply
-	if r.err != nil {
-		return response{Error: r.err.Error()}
-	}
-	return response{OK: true, Found: r.resp.Found, Value: string(r.resp.Value), Crashed: r.crashed}
+	return wire.Response{OK: true, Found: ack.Resp.Found, Value: ack.Resp.Value, Crashed: ack.Crashed}
 }
 
-// finalReport closes the engine (drain, or crash snapshot if the machine
-// lost power), verifies every recovery invariant, and prints the outcome.
-func (s *server) finalReport() error {
-	crashed := s.engine.Crashed()
-	res, err := s.engine.Close()
-	if err != nil {
-		return err
+// appendStats encodes the stats reply (aggregate + per-shard) onto buf.
+// This is the cold path; it uses encoding/json.
+func (s *server) appendStats(buf []byte) []byte {
+	metrics := s.store.Metrics()
+	reply := statsReply{OK: true, Shards: make([]shardStats, len(metrics))}
+	per := make([]obs.ServiceStats, len(metrics))
+	for i, m := range metrics {
+		per[i] = s.collectors[i].Snapshot()
+		reply.Shards[i] = shardStats{ShardMetrics: m, Service: per[i]}
 	}
-	rep, err := s.engine.Verify(res)
+	reply.Stats = obs.AggregateServiceStats(per)
+	line, err := json.Marshal(reply)
+	if err != nil {
+		return wire.AppendResponse(buf, &wire.Response{Error: "stats: " + err.Error()})
+	}
+	buf = append(buf, line...)
+	return append(buf, '\n')
+}
+
+// finalReport closes the store (per-shard drain, or crash snapshot where
+// a shard lost power), verifies every shard's recovery invariants, and
+// prints per-shard plus combined outcomes.
+func (s *server) finalReport() error {
+	crashed := s.store.Crashed()
+	results, err := s.store.Close()
 	if err != nil {
 		return fmt.Errorf("recovery verification FAILED: %w", err)
 	}
-	st := s.collector.Snapshot()
 	mode := "clean drain"
 	if crashed {
-		mode = fmt.Sprintf("CRASH at cycle %d", s.engine.Now())
+		mode = "CRASH"
 	}
-	fmt.Printf("pmkvd: %s after %d cycles\n", mode, s.engine.Now())
-	fmt.Printf("  publishes: %d durable / %d total; recovered keys: %d\n",
-		rep.DurablePublishes, rep.TotalPublishes, rep.RecoveredKeys)
-	fmt.Printf("  epochs: %d in graph (+%d publish edges), %d persisted (%.3f/kcycle)\n",
-		rep.Epochs, rep.PublishEdges, st.EpochsPersisted, st.EpochsPerKcycle())
-	fmt.Printf("  persist latency (cycles): p50=%d p90=%d p99=%d (%d samples)\n",
-		st.LatencyP50, st.LatencyP90, st.LatencyP99, st.LatencySamples)
-	fmt.Printf("  conflicts: %d intra, %d inter, %d eviction\n",
-		st.ConflictsIntra, st.ConflictsInter, st.ConflictsEviction)
-	fmt.Printf("  recovery invariants: OK (fingerprint %.16s)\n", rep.Fingerprint)
+	fmt.Printf("pmkvd: %s across %d shards\n", mode, len(results))
+	fps := make([]string, len(results))
+	recovered := 0
+	for i, r := range results {
+		st := s.collectors[i].Snapshot()
+		shardMode := "clean"
+		if r.Crashed {
+			shardMode = fmt.Sprintf("crashed at cycle %d", r.Cycles)
+		}
+		fmt.Printf("  shard %d: %s after %d cycles; publishes %d durable / %d total; %d keys; %d epochs persisted (p50=%d p99=%d cycles)\n",
+			r.Shard, shardMode, r.Cycles, r.Report.DurablePublishes, r.Report.TotalPublishes,
+			r.Report.RecoveredKeys, st.EpochsPersisted, st.LatencyP50, st.LatencyP99)
+		fps[i] = r.Report.Fingerprint
+		recovered += r.Report.RecoveredKeys
+	}
+	fmt.Printf("  recovered keys: %d; combined fingerprint %.16s\n", recovered, pmkv.CombineFingerprints(fps))
+	fmt.Printf("  recovery invariants: OK\n")
 	return nil
 }

@@ -1,0 +1,333 @@
+// Command pmkvload is a load generator for pmkvd: N concurrent
+// connections drive a configurable read/write/delete mix over a skewed
+// or uniform keyspace, closed-loop (each connection issues its next
+// operation the moment the previous ack lands) or open-loop at a target
+// aggregate rate. Because pmkvd acks mutations only when the owning
+// shard's durable-prefix watermark covers them, the measured latency is
+// durable-commit latency, not just visibility.
+//
+// Output is a throughput line plus a latency histogram summary
+// (p50/p90/p99/p99.9/max, from power-of-two microsecond buckets merged
+// across connections); -json emits the same numbers as one JSON object
+// for scripts.
+//
+// The generator is deterministic per seed: connection i derives its rng
+// from -seed and i, so two runs against the same server configuration
+// issue the same operation streams.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+const histBuckets = 40 // bucket i holds latencies < 2^i microseconds
+
+type request struct {
+	Op    string `json:"op"`
+	Key   string `json:"key"`
+	Value string `json:"value,omitempty"`
+}
+
+type response struct {
+	OK      bool   `json:"ok"`
+	Found   bool   `json:"found"`
+	Value   string `json:"value"`
+	Crashed bool   `json:"crashed"`
+	Error   string `json:"error"`
+}
+
+// connStats is one connection's tally, merged after the run.
+type connStats struct {
+	ops      uint64
+	gets     uint64
+	puts     uint64
+	dels     uint64
+	found    uint64
+	notFound uint64
+	errors   uint64
+	crashed  uint64
+	draining uint64
+	hist     [histBuckets]uint64
+	maxUS    uint64
+	sumUS    uint64
+}
+
+func (c *connStats) record(lat time.Duration) {
+	us := uint64(lat.Microseconds())
+	if us > c.maxUS {
+		c.maxUS = us
+	}
+	c.sumUS += us
+	b := 0
+	for us > 0 && b < histBuckets-1 {
+		us >>= 1
+		b++
+	}
+	c.hist[b]++
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "pmkvd address")
+		conns    = flag.Int("conns", 8, "concurrent connections")
+		duration = flag.Duration("duration", 5*time.Second, "run length")
+		rate     = flag.Float64("rate", 0, "target aggregate ops/sec (0 = closed loop)")
+		keys     = flag.Int("keys", 256, "distinct keys")
+		zipf     = flag.Float64("zipf", 0, "key skew exponent (> 1 enables Zipf; 0 = uniform)")
+		getFrac  = flag.Float64("get", 0.70, "fraction of operations that are gets")
+		delFrac  = flag.Float64("del", 0.05, "fraction of operations that are deletes")
+		valueLen = flag.Int("value", 64, "value bytes per put")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		jsonOut  = flag.Bool("json", false, "emit a JSON summary instead of text")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "pmkvload: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *conns < 1 {
+		fail("-conns must be >= 1, got %d", *conns)
+	}
+	if *keys < 1 {
+		fail("-keys must be >= 1, got %d", *keys)
+	}
+	if *zipf != 0 && *zipf <= 1 {
+		fail("-zipf must be > 1 (or 0 for uniform), got %g", *zipf)
+	}
+	if *getFrac < 0 || *delFrac < 0 || *getFrac+*delFrac > 1 {
+		fail("-get and -del must be nonnegative and sum to <= 1")
+	}
+	if *valueLen < 1 {
+		fail("-value must be >= 1, got %d", *valueLen)
+	}
+
+	// Open-loop pacing: each connection runs at rate/conns ops/sec.
+	var interval time.Duration
+	if *rate > 0 {
+		interval = time.Duration(float64(*conns) / *rate * float64(time.Second))
+	}
+
+	deadline := time.Now().Add(*duration)
+	stats := make([]connStats, *conns)
+	var wg sync.WaitGroup
+	var dialErr error
+	var dialErrOnce sync.Once
+	start := time.Now()
+	for i := 0; i < *conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := runConn(*addr, i, deadline, interval, genConfig{
+				keys: *keys, zipf: *zipf, getFrac: *getFrac, delFrac: *delFrac,
+				valueLen: *valueLen, seed: *seed,
+			}, &stats[i])
+			if err != nil {
+				dialErrOnce.Do(func() { dialErr = err })
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if dialErr != nil {
+		fail("%v", dialErr)
+	}
+
+	report(stats, elapsed, *conns, *jsonOut)
+}
+
+type genConfig struct {
+	keys     int
+	zipf     float64
+	getFrac  float64
+	delFrac  float64
+	valueLen int
+	seed     int64
+}
+
+// runConn drives one connection until the deadline, the server drains, or
+// a crash-flagged response arrives.
+func runConn(addr string, id int, deadline time.Time, interval time.Duration, g genConfig, st *connStats) error {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("conn %d: %w", id, err)
+	}
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 64<<10)
+	w := bufio.NewWriterSize(conn, 64<<10)
+
+	rng := rand.New(rand.NewSource(g.seed + int64(id)*1_000_003))
+	var zipfGen *rand.Zipf
+	if g.zipf > 1 {
+		zipfGen = rand.NewZipf(rng, g.zipf, 1, uint64(g.keys-1))
+	}
+	value := strings.Repeat("v", g.valueLen)
+	reqBuf := make([]byte, 0, 256)
+	next := time.Now()
+
+	for time.Now().Before(deadline) {
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(interval)
+		}
+		var k int
+		if zipfGen != nil {
+			k = int(zipfGen.Uint64())
+		} else {
+			k = rng.Intn(g.keys)
+		}
+		key := fmt.Sprintf("k%06d", k)
+		var req request
+		switch p := rng.Float64(); {
+		case p < g.getFrac:
+			req = request{Op: "get", Key: key}
+			st.gets++
+		case p < g.getFrac+g.delFrac:
+			req = request{Op: "del", Key: key}
+			st.dels++
+		default:
+			req = request{Op: "put", Key: key, Value: value}
+			st.puts++
+		}
+		line, err := json.Marshal(req)
+		if err != nil {
+			return fmt.Errorf("conn %d: %w", id, err)
+		}
+		reqBuf = append(append(reqBuf[:0], line...), '\n')
+
+		t0 := time.Now()
+		if _, err := w.Write(reqBuf); err != nil {
+			return nil // server went away mid-run: the drain races us
+		}
+		if err := w.Flush(); err != nil {
+			return nil
+		}
+		respLine, err := r.ReadBytes('\n')
+		if err != nil {
+			return nil
+		}
+		st.record(time.Since(t0))
+		st.ops++
+
+		var resp response
+		if err := json.Unmarshal(respLine, &resp); err != nil {
+			st.errors++
+			continue
+		}
+		switch {
+		case resp.Error != "":
+			if strings.Contains(resp.Error, "draining") {
+				st.draining++
+				return nil
+			}
+			st.errors++
+		case resp.Crashed:
+			// Applied at the instant of power loss; the server is draining.
+			st.crashed++
+			return nil
+		case resp.Found:
+			st.found++
+		default:
+			st.notFound++
+		}
+	}
+	return nil
+}
+
+// percentileUS returns the upper bound, in microseconds, of the bucket
+// holding the p-th percentile sample.
+func percentileUS(hist *[histBuckets]uint64, total uint64, p float64) uint64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(float64(total) * p)
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for b := 0; b < histBuckets; b++ {
+		seen += hist[b]
+		if seen > rank {
+			if b == 0 {
+				return 1
+			}
+			return uint64(1) << b
+		}
+	}
+	return uint64(1) << (histBuckets - 1)
+}
+
+func report(stats []connStats, elapsed time.Duration, conns int, jsonOut bool) {
+	var total connStats
+	for i := range stats {
+		s := &stats[i]
+		total.ops += s.ops
+		total.gets += s.gets
+		total.puts += s.puts
+		total.dels += s.dels
+		total.found += s.found
+		total.notFound += s.notFound
+		total.errors += s.errors
+		total.crashed += s.crashed
+		total.draining += s.draining
+		total.sumUS += s.sumUS
+		if s.maxUS > total.maxUS {
+			total.maxUS = s.maxUS
+		}
+		for b := range s.hist {
+			total.hist[b] += s.hist[b]
+		}
+	}
+	opsPerSec := float64(total.ops) / elapsed.Seconds()
+	p50 := percentileUS(&total.hist, total.ops, 0.50)
+	p90 := percentileUS(&total.hist, total.ops, 0.90)
+	p99 := percentileUS(&total.hist, total.ops, 0.99)
+	p999 := percentileUS(&total.hist, total.ops, 0.999)
+	var meanUS uint64
+	if total.ops > 0 {
+		meanUS = total.sumUS / total.ops
+	}
+
+	if jsonOut {
+		out := map[string]any{
+			"conns":       conns,
+			"elapsed_sec": elapsed.Seconds(),
+			"ops":         total.ops,
+			"ops_per_sec": opsPerSec,
+			"gets":        total.gets,
+			"puts":        total.puts,
+			"dels":        total.dels,
+			"found":       total.found,
+			"not_found":   total.notFound,
+			"errors":      total.errors,
+			"crashed":     total.crashed,
+			"draining":    total.draining,
+			"mean_us":     meanUS,
+			"p50_us":      p50,
+			"p90_us":      p90,
+			"p99_us":      p99,
+			"p999_us":     p999,
+			"max_us":      total.maxUS,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.Encode(out)
+		return
+	}
+	fmt.Printf("pmkvload: %d conns, %.1fs: %d ops (%.1f ops/sec), %d get / %d put / %d del\n",
+		conns, elapsed.Seconds(), total.ops, opsPerSec, total.gets, total.puts, total.dels)
+	fmt.Printf("  found %d, not-found %d, errors %d, crashed %d, draining %d\n",
+		total.found, total.notFound, total.errors, total.crashed, total.draining)
+	fmt.Printf("  latency (us, bucket upper bounds): mean=%d p50=%d p90=%d p99=%d p99.9=%d max=%d\n",
+		meanUS, p50, p90, p99, p999, total.maxUS)
+}

@@ -295,6 +295,22 @@ func (m *Machine) usesEpochs() bool { return m.cfg.Model == EP || m.cfg.Model ==
 // Engine exposes the simulation engine (for crash-injection harnesses).
 func (m *Machine) Engine() *sim.Engine { return m.eng }
 
+// PersistedVersion returns the version of line durable in NVRAM as of the
+// current instant (NoVersion if never persisted). A point query with no
+// allocation — the live analogue of Result.Image for durability
+// watermarks polled between streaming batches.
+func (m *Machine) PersistedVersion(line mem.Line) mem.Version {
+	return m.mcs.PersistedVersion(line)
+}
+
+// TokenVersion reports the version a tagged store committed, live (the
+// streaming analogue of Result.TokenVersions). ok is false while the
+// store has not yet retired.
+func (m *Machine) TokenVersion(token uint64) (mem.Version, bool) {
+	v, ok := m.tokenVersions[token]
+	return v, ok
+}
+
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
 

@@ -170,6 +170,14 @@ func (c *Controller) Image() map[mem.Line]mem.Version {
 	return out
 }
 
+// PersistedVersion returns the version of line currently durable at this
+// controller (NoVersion if the line has never persisted). Unlike Image it
+// is a point query with no allocation, cheap enough for live durability
+// watermarks polled between request batches.
+func (c *Controller) PersistedVersion(line mem.Line) mem.Version {
+	return c.image[line]
+}
+
 // Log returns the durable undo-log entries in append order (a copy).
 func (c *Controller) Log() []LogEntry {
 	out := make([]LogEntry, len(c.log))
@@ -213,6 +221,12 @@ func (b *Bank) ControllerFor(line mem.Line) *Controller {
 
 // Controllers returns the underlying controllers.
 func (b *Bank) Controllers() []*Controller { return b.ctrls }
+
+// PersistedVersion returns the durable version of line (a point query on
+// the owning controller; NoVersion when never persisted).
+func (b *Bank) PersistedVersion(line mem.Line) mem.Version {
+	return b.ControllerFor(line).PersistedVersion(line)
+}
 
 // Image merges every controller's durable image into one map.
 func (b *Bank) Image() map[mem.Line]mem.Version {

@@ -158,3 +158,34 @@ func percentile(sorted []sim.Cycle, p int) sim.Cycle {
 	}
 	return sorted[idx]
 }
+
+// AggregateServiceStats folds per-shard snapshots into one store-wide
+// view: counters sum, Cycle is the furthest shard clock, and latency
+// percentiles take the elementwise worst case (a conservative bound — the
+// true pooled percentile needs the raw samples, which per-shard snapshots
+// no longer carry).
+func AggregateServiceStats(per []ServiceStats) ServiceStats {
+	var agg ServiceStats
+	for _, s := range per {
+		if s.Cycle > agg.Cycle {
+			agg.Cycle = s.Cycle
+		}
+		agg.Txs += s.Txs
+		agg.EpochsOpened += s.EpochsOpened
+		agg.EpochsPersisted += s.EpochsPersisted
+		agg.ConflictsIntra += s.ConflictsIntra
+		agg.ConflictsInter += s.ConflictsInter
+		agg.ConflictsEviction += s.ConflictsEviction
+		agg.LatencySamples += s.LatencySamples
+		if s.LatencyP50 > agg.LatencyP50 {
+			agg.LatencyP50 = s.LatencyP50
+		}
+		if s.LatencyP90 > agg.LatencyP90 {
+			agg.LatencyP90 = s.LatencyP90
+		}
+		if s.LatencyP99 > agg.LatencyP99 {
+			agg.LatencyP99 = s.LatencyP99
+		}
+	}
+	return agg
+}

@@ -110,3 +110,31 @@ func TestPercentileNearestRank(t *testing.T) {
 		t.Fatalf("empty = %d", got)
 	}
 }
+
+func TestAggregateServiceStats(t *testing.T) {
+	per := []ServiceStats{
+		{Cycle: 100, Txs: 5, EpochsOpened: 4, EpochsPersisted: 3, ConflictsIntra: 1,
+			LatencySamples: 10, LatencyP50: 20, LatencyP90: 40, LatencyP99: 90},
+		{Cycle: 250, Txs: 7, EpochsOpened: 6, EpochsPersisted: 5, ConflictsInter: 2,
+			LatencySamples: 4, LatencyP50: 30, LatencyP90: 35, LatencyP99: 80},
+	}
+	agg := AggregateServiceStats(per)
+	if agg.Cycle != 250 {
+		t.Fatalf("Cycle = %d, want max 250", agg.Cycle)
+	}
+	if agg.Txs != 12 || agg.EpochsOpened != 10 || agg.EpochsPersisted != 8 {
+		t.Fatalf("counters not summed: %+v", agg)
+	}
+	if agg.ConflictsIntra != 1 || agg.ConflictsInter != 2 {
+		t.Fatalf("conflicts not summed: %+v", agg)
+	}
+	if agg.LatencySamples != 14 {
+		t.Fatalf("LatencySamples = %d, want 14", agg.LatencySamples)
+	}
+	if agg.LatencyP50 != 30 || agg.LatencyP90 != 40 || agg.LatencyP99 != 90 {
+		t.Fatalf("percentiles not elementwise max: %+v", agg)
+	}
+	if got := AggregateServiceStats(nil); got != (ServiceStats{}) {
+		t.Fatalf("empty aggregate = %+v, want zero", got)
+	}
+}

@@ -165,6 +165,11 @@ type Engine struct {
 	seqs      map[int]int // per-session sequence numbers
 
 	records []*OpRecord
+	// durableCursor is the durable-prefix watermark: every record below it
+	// has its publish store durable in NVRAM. It only moves forward, one
+	// cheap point query per record, so polling it between batches is O(new
+	// durability) rather than O(history).
+	durableCursor int
 
 	crashed bool
 	closed  bool
@@ -332,6 +337,34 @@ func (e *Engine) crashLimit() sim.Cycle {
 func (e *Engine) Apply(batch []Request) ([]Response, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	resps, err := e.submitLocked(batch)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.pumpRetireLocked(); err != nil {
+		if err == ErrCrashed {
+			return resps, ErrCrashed
+		}
+		return nil, err
+	}
+	if err := e.stepGapLocked(); err != nil {
+		return resps, err
+	}
+	return resps, nil
+}
+
+// Submit translates a batch and feeds it to the cores without advancing
+// the machine — the front half of a group commit. A sharded worker
+// submits batch k+1 while batch k's persist barriers are still draining;
+// PumpRetire then advances the clock. Responses reflect the volatile
+// state immediately.
+func (e *Engine) Submit(batch []Request) ([]Response, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.submitLocked(batch)
+}
+
+func (e *Engine) submitLocked(batch []Request) ([]Response, error) {
 	if e.closed {
 		return nil, fmt.Errorf("pmkv: engine closed")
 	}
@@ -349,16 +382,56 @@ func (e *Engine) Apply(batch []Request) ([]Response, error) {
 			return nil, err
 		}
 	}
+	return resps, nil
+}
+
+// PumpRetire advances the machine until every fed op has retired (or the
+// crash instant / a deadlock intervenes). Retirement is the ack point of
+// the pipelined commit: visibility is settled, while the epochs holding
+// the batch's publishes keep persisting in the background.
+func (e *Engine) PumpRetire() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("pmkv: engine closed")
+	}
+	if e.crashed {
+		return ErrCrashed
+	}
+	return e.pumpRetireLocked()
+}
+
+func (e *Engine) pumpRetireLocked() error {
 	limit := e.crashLimit()
 	if !e.m.PumpUntilIdle(limit) {
 		if e.m.Deadlocked() {
-			return nil, fmt.Errorf("pmkv: machine deadlocked at cycle %d", e.m.Now())
+			return fmt.Errorf("pmkv: machine deadlocked at cycle %d", e.m.Now())
 		}
 		e.crashed = true
-		return resps, ErrCrashed
+		return ErrCrashed
 	}
+	return nil
+}
+
+// StepGap lets the background persist machinery run for one BatchGap of
+// simulated think time, never past the crash instant. ErrCrashed reports
+// that the instant was reached during the gap.
+func (e *Engine) StepGap() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("pmkv: engine closed")
+	}
+	if e.crashed {
+		return ErrCrashed
+	}
+	return e.stepGapLocked()
+}
+
+func (e *Engine) stepGapLocked() error {
 	// Let background persists overlap the think time between batches,
 	// still never past the crash instant.
+	limit := e.crashLimit()
 	gap := e.cfg.BatchGap
 	if limit != sim.MaxCycle && e.m.Now()+gap > limit {
 		gap = limit - e.m.Now()
@@ -366,9 +439,83 @@ func (e *Engine) Apply(batch []Request) ([]Response, error) {
 	e.m.Step(gap)
 	if limit != sim.MaxCycle && e.m.Now() >= limit {
 		e.crashed = true
-		return resps, ErrCrashed
+		return ErrCrashed
 	}
-	return resps, nil
+	return nil
+}
+
+// advanceWatermarkLocked moves the durable-prefix cursor: a record is
+// durable once its publish store retired with version v and NVRAM holds
+// version >= v of its bucket head (the line-rewrite conflict rules make
+// ">=" exactly "v persisted"). The cursor stops at the first non-durable
+// record, so everything below it is a durable prefix of the engine's
+// mutation order.
+func (e *Engine) advanceWatermarkLocked() int {
+	for e.durableCursor < len(e.records) {
+		r := e.records[e.durableCursor]
+		v, ok := e.m.TokenVersion(r.PubToken)
+		if !ok || v == mem.NoVersion || e.m.PersistedVersion(r.Head) < v {
+			break
+		}
+		e.durableCursor++
+	}
+	return e.durableCursor
+}
+
+// DurableWatermark reports the durable-prefix watermark: the number of
+// mutation records (in submission order) whose publishes have reached
+// NVRAM, and the total number of mutation records submitted. Acks gated
+// on the watermark are durability guarantees, not just visibility.
+func (e *Engine) DurableWatermark() (durable, total int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.advanceWatermarkLocked(), len(e.records)
+}
+
+// RecordCount reports how many mutation records the engine has issued;
+// a pipelined committer snapshots it after Submit as the batch's
+// durability target.
+func (e *Engine) RecordCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.records)
+}
+
+// Quiesced reports whether the machine has nothing scheduled — no
+// background persist machinery in flight, so only Close's final drain
+// (or new requests) can change the durable image.
+func (e *Engine) Quiesced() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.m.Engine().Pending() == 0
+}
+
+// WaitDurable advances simulated time in BatchGap steps until the durable
+// watermark covers target records (or the crash instant hits, or the
+// machinery runs dry — closed epochs always drain through scheduled
+// events, so an empty event queue means only Close's final drain can make
+// further progress). It returns the watermark reached.
+func (e *Engine) WaitDurable(target int) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return e.durableCursor, fmt.Errorf("pmkv: engine closed")
+	}
+	for {
+		d := e.advanceWatermarkLocked()
+		if d >= target {
+			return d, nil
+		}
+		if e.crashed {
+			return d, ErrCrashed
+		}
+		if e.m.Engine().Pending() == 0 {
+			return d, nil
+		}
+		if err := e.stepGapLocked(); err != nil {
+			return e.advanceWatermarkLocked(), err
+		}
+	}
 }
 
 // ErrCrashed reports that the simulated machine hit its configured crash

@@ -1,0 +1,499 @@
+// Shard-parallel pmkv: the keyspace is partitioned by a stable hash
+// across N independent machine instances, each owned by one worker
+// goroutine with a bounded mailbox. Workers run a pipelined group
+// commit — batch k+1 is translated and fed while batch k's persist
+// barriers are still draining — and release client acks only when the
+// shard's durable-prefix watermark covers the batch, so an ack is a
+// durability guarantee, not just visibility. Shards share no mutable
+// state; aggregate throughput scales with host cores and, on any host,
+// with the contention relief of smaller per-machine session counts.
+package pmkv
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"persistbarriers/internal/sim"
+	"persistbarriers/internal/stats"
+)
+
+// MaxShards bounds the shard count (arbitrary sanity limit).
+const MaxShards = 256
+
+// ErrDraining reports that the store has begun its final drain and no
+// longer accepts requests; everything already acknowledged is (or will
+// be) durable before the recovery snapshot is taken.
+var ErrDraining = fmt.Errorf("pmkv: store draining")
+
+// shardHash is the router hash: FNV-1a strengthened with a splitmix64
+// finalizer so shard choice decorrelates from the engines' bucket hash
+// (both start from raw FNV-1a). It is a pure function of the key bytes —
+// the same key maps to the same shard in every process, every run.
+func shardHash(key string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 0x100000001b3
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// ShardOf maps a key to its owning shard in [0, shards).
+func ShardOf(key string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(shardHash(key) % uint64(shards))
+}
+
+// ShardedConfig sizes a sharded store.
+type ShardedConfig struct {
+	// Shards is the number of independent engine instances (default 1).
+	Shards int
+	// Engine is the per-shard engine template. Engine.CrashAt fans out:
+	// every shard loses power at that cycle of its own clock.
+	Engine Config
+	// Mailbox is the per-shard request queue depth (default 256).
+	Mailbox int
+	// MaxBatch bounds how many mailbox requests one group commit drains
+	// (default 64).
+	MaxBatch int
+	// ConfigureShard, when non-nil, is called with each shard's engine
+	// config before construction — the hook servers use to attach a
+	// per-shard observability probe.
+	ConfigureShard func(shard int, cfg *Config)
+	// OnCrash, when non-nil, is called once per shard, from that shard's
+	// worker goroutine, after the shard hits its crash instant and its
+	// pending acks have been delivered (flagged crashed). Servers use it
+	// to self-initiate the drain — but because it runs on the worker, a
+	// callback must call BeginDrain from a new goroutine (BeginDrain waits
+	// on producers that only this worker can unblock).
+	OnCrash func(shard int)
+}
+
+func (c *ShardedConfig) fill() {
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Mailbox <= 0 {
+		c.Mailbox = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+}
+
+// ShardedSession is one client's handle across every shard: its requests
+// execute in program order per shard (global cross-shard order is not
+// preserved — the standard sharded-store relaxation).
+type ShardedSession struct {
+	ID  int
+	per []*Session // per-shard engine sessions, indexed by shard
+}
+
+// ShardAck answers one request routed through the sharded store. For
+// mutations the ack is durability-gated: when Err is nil and Crashed is
+// false, the shard's durable-prefix watermark covered this request's
+// batch at ack time, so the publish — and every earlier accepted write on
+// that shard — is in NVRAM. Crashed acks report the volatile response of
+// a batch that was applied right as the shard lost power (durability
+// unknown, judged by recovery).
+type ShardAck struct {
+	Resp    Response
+	Shard   int
+	Durable int // shard durable-prefix watermark at ack time
+	Crashed bool
+	Err     error
+}
+
+type shardJob struct {
+	req   Request
+	reply chan ShardAck
+}
+
+// shard is one partition: an engine, its mailbox, and its worker state.
+type shard struct {
+	id    int
+	eng   *Engine
+	mail  chan shardJob
+	subMu sync.RWMutex // senders hold R; drain holds W to flip accepting+close
+	open  bool         // guarded by subMu
+
+	// metrics
+	enq       atomic.Uint64
+	deq       atomic.Uint64
+	batches   atomic.Uint64
+	batchOps  atomic.Uint64
+	crashedFl atomic.Bool
+}
+
+// queueDepth is the number of requests accepted but not yet group-committed.
+func (sh *shard) queueDepth() int { return int(sh.enq.Load() - sh.deq.Load()) }
+
+// ShardedStore partitions the keyspace across independent engines. All
+// methods are safe for concurrent use; request routing takes no global
+// lock — a pure hash picks the shard and a per-shard mailbox carries the
+// request to that shard's worker.
+type ShardedStore struct {
+	cfg    ShardedConfig
+	shards []*shard
+
+	sessMu   sync.Mutex
+	sessions int
+
+	drainOnce sync.Once
+	wg        sync.WaitGroup
+
+	closeMu sync.Mutex
+	closed  bool
+	results []ShardResult
+}
+
+// NewSharded builds the store and starts one worker per shard.
+func NewSharded(cfg ShardedConfig) (*ShardedStore, error) {
+	cfg.fill()
+	if cfg.Shards < 1 || cfg.Shards > MaxShards {
+		return nil, fmt.Errorf("pmkv: Shards must be in 1..%d, got %d", MaxShards, cfg.Shards)
+	}
+	s := &ShardedStore{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		ecfg := cfg.Engine
+		if cfg.ConfigureShard != nil {
+			cfg.ConfigureShard(i, &ecfg)
+		}
+		eng, err := New(ecfg)
+		if err != nil {
+			return nil, fmt.Errorf("pmkv: shard %d: %w", i, err)
+		}
+		s.shards = append(s.shards, &shard{
+			id:   i,
+			eng:  eng,
+			mail: make(chan shardJob, cfg.Mailbox),
+			open: true,
+		})
+	}
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go func(sh *shard) {
+			defer s.wg.Done()
+			s.runShard(sh)
+		}(sh)
+	}
+	return s, nil
+}
+
+// Shards reports the shard count.
+func (s *ShardedStore) Shards() int { return len(s.shards) }
+
+// NewSession opens a client session on every shard. Creation is
+// serialized so each shard binds the session to the same core slot.
+func (s *ShardedStore) NewSession() *ShardedSession {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	sess := &ShardedSession{ID: s.sessions, per: make([]*Session, len(s.shards))}
+	s.sessions++
+	for i, sh := range s.shards {
+		sess.per[i] = sh.eng.NewSession()
+	}
+	return sess
+}
+
+// Do routes one request to its key's shard and blocks until the shard
+// acks it (for mutations: until the publish is durable, the shard
+// crashed, or the store refused the request).
+func (s *ShardedStore) Do(sess *ShardedSession, op Op, key string, value []byte) ShardAck {
+	if sess == nil {
+		return ShardAck{Err: fmt.Errorf("pmkv: request without session")}
+	}
+	id := ShardOf(key, len(s.shards))
+	sh := s.shards[id]
+	j := shardJob{
+		req:   Request{Sess: sess.per[id], Op: op, Key: key, Value: value},
+		reply: make(chan ShardAck, 1),
+	}
+	sh.subMu.RLock()
+	if !sh.open {
+		sh.subMu.RUnlock()
+		return ShardAck{Shard: id, Err: ErrDraining}
+	}
+	sh.mail <- j
+	sh.enq.Add(1)
+	sh.subMu.RUnlock()
+	return <-j.reply
+}
+
+// pendingBatch is a group commit whose ops have retired (responses known)
+// but whose durability ack is still gated on the watermark.
+type pendingBatch struct {
+	jobs   []shardJob
+	resps  []Response
+	target int // RecordCount after this batch's Submit
+}
+
+// runShard is the shard's worker: the engine's single writer. It drains
+// the mailbox into group commits, pipelines them (batch k+1 translates
+// and feeds while batch k's epochs persist in the background), and
+// releases acks as the durable-prefix watermark advances.
+func (s *ShardedStore) runShard(sh *shard) {
+	var pending []pendingBatch
+	open := true
+	for open || len(pending) > 0 {
+		var batch []shardJob
+		if open {
+			if len(pending) == 0 {
+				// Nothing awaiting durability: block for work.
+				j, ok := <-sh.mail
+				if !ok {
+					open = false
+				} else {
+					batch = append(batch, j)
+					sh.deq.Add(1)
+				}
+			}
+		gather:
+			for open && len(batch) < s.cfg.MaxBatch {
+				select {
+				case j, ok := <-sh.mail:
+					if !ok {
+						open = false
+						break gather
+					}
+					batch = append(batch, j)
+					sh.deq.Add(1)
+				default:
+					break gather
+				}
+			}
+		}
+
+		if len(batch) > 0 {
+			pending = s.commit(sh, batch, pending)
+		}
+
+		// Release acks: if more work is queued, only harvest whatever the
+		// pumps already persisted; if the mailbox is idle, advance
+		// simulated time until the oldest pending batch is durable.
+		if len(pending) > 0 {
+			var durable int
+			var err error
+			if len(sh.mail) > 0 {
+				durable, _ = sh.eng.DurableWatermark()
+			} else {
+				durable, err = sh.eng.WaitDurable(pending[len(pending)-1].target)
+			}
+			if err == ErrCrashed {
+				s.crash(sh, &pending, nil)
+				continue
+			}
+			for len(pending) > 0 && pending[0].target <= durable {
+				p := pending[0]
+				pending = pending[1:]
+				for i, j := range p.jobs {
+					j.reply <- ShardAck{Resp: p.resps[i], Shard: sh.id, Durable: durable}
+				}
+			}
+			if len(pending) > 0 && !open && sh.eng.Quiesced() {
+				// Mailbox closed and the machinery ran dry with acks still
+				// gated: only Close's final drain persists the rest. Ack
+				// now — Close runs the full drain before the recovery
+				// snapshot, so durability still precedes the snapshot.
+				for _, p := range pending {
+					for i, j := range p.jobs {
+						j.reply <- ShardAck{Resp: p.resps[i], Shard: sh.id, Durable: durable}
+					}
+				}
+				pending = nil
+			}
+		}
+	}
+}
+
+// commit runs one group commit through the engine. On a crash it flushes
+// every gated ack (flagged crashed) and notifies the store.
+func (s *ShardedStore) commit(sh *shard, batch []shardJob, pending []pendingBatch) []pendingBatch {
+	reqs := make([]Request, len(batch))
+	for i, j := range batch {
+		reqs[i] = j.req
+	}
+	resps, err := sh.eng.Submit(reqs)
+	if err == nil {
+		err = sh.eng.PumpRetire()
+	}
+	switch {
+	case err == nil:
+		sh.batches.Add(1)
+		sh.batchOps.Add(uint64(len(batch)))
+		return append(pending, pendingBatch{jobs: batch, resps: resps, target: sh.eng.RecordCount()})
+	case err == ErrCrashed:
+		// The machine lost power. If Submit completed, this batch was
+		// applied: its clients get volatile responses flagged crashed.
+		// Anything still gated from earlier batches is flagged too —
+		// recovery, not the watermark, now judges durability.
+		s.crash(sh, &pending, func() {
+			if len(resps) == len(batch) {
+				for i, j := range batch {
+					j.reply <- ShardAck{Resp: resps[i], Shard: sh.id, Crashed: true}
+				}
+			} else {
+				for _, j := range batch {
+					j.reply <- ShardAck{Shard: sh.id, Err: ErrCrashed}
+				}
+			}
+		})
+		return nil
+	default:
+		for _, j := range batch {
+			j.reply <- ShardAck{Shard: sh.id, Err: err}
+		}
+		return pending
+	}
+}
+
+// crash marks the shard crashed, flushes gated acks (flagged crashed),
+// delivers the crashing batch's acks via deliver, and fires OnCrash once.
+func (s *ShardedStore) crash(sh *shard, pending *[]pendingBatch, deliver func()) {
+	for _, p := range *pending {
+		for i, j := range p.jobs {
+			j.reply <- ShardAck{Resp: p.resps[i], Shard: sh.id, Crashed: true}
+		}
+	}
+	*pending = nil
+	if deliver != nil {
+		deliver()
+	}
+	if sh.crashedFl.CompareAndSwap(false, true) && s.cfg.OnCrash != nil {
+		s.cfg.OnCrash(sh.id)
+	}
+}
+
+// Crashed reports whether any shard has hit its crash instant.
+func (s *ShardedStore) Crashed() bool {
+	for _, sh := range s.shards {
+		if sh.crashedFl.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// ShardMetrics is a point-in-time view of one shard's queue and commit
+// pipeline, complementing the obs.Collector stream a server attaches per
+// shard.
+type ShardMetrics struct {
+	Shard      int       `json:"shard"`
+	QueueDepth int       `json:"queue_depth"`
+	Batches    uint64    `json:"batches"`
+	AvgBatch   float64   `json:"avg_batch"`
+	Durable    int       `json:"durable_publishes"`
+	Total      int       `json:"total_publishes"`
+	Cycle      sim.Cycle `json:"cycle"`
+	Crashed    bool      `json:"crashed,omitempty"`
+}
+
+// Metrics snapshots every shard's pipeline state.
+func (s *ShardedStore) Metrics() []ShardMetrics {
+	out := make([]ShardMetrics, len(s.shards))
+	for i, sh := range s.shards {
+		d, total := sh.eng.DurableWatermark()
+		m := ShardMetrics{
+			Shard:      i,
+			QueueDepth: sh.queueDepth(),
+			Batches:    sh.batches.Load(),
+			Durable:    d,
+			Total:      total,
+			Cycle:      sh.eng.Now(),
+			Crashed:    sh.crashedFl.Load(),
+		}
+		if m.Batches > 0 {
+			m.AvgBatch = float64(sh.batchOps.Load()) / float64(m.Batches)
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// BeginDrain quiesces the store: new requests are refused (ErrDraining)
+// and every shard's mailbox is closed, so each worker commits exactly the
+// requests accepted before the drain and then stops. Requests enqueued
+// concurrently with BeginDrain either land in the mailbox (and are
+// committed before the final barrier) or are refused — never applied
+// after the recovery snapshot.
+func (s *ShardedStore) BeginDrain() {
+	s.drainOnce.Do(func() {
+		for _, sh := range s.shards {
+			sh.subMu.Lock()
+			sh.open = false
+			close(sh.mail)
+			sh.subMu.Unlock()
+		}
+	})
+}
+
+// ShardResult is one shard's final, verified outcome.
+type ShardResult struct {
+	Shard     int
+	Crashed   bool
+	Cycles    sim.Cycle
+	Report    *Report
+	Recovered map[string][]byte
+	Err       error
+}
+
+// Close drains the store (BeginDrain + worker quiesce), then closes and
+// verifies every shard: clean shards run the full persist drain, crashed
+// shards snapshot their NVRAM image at the crash instant; each is checked
+// against the §5 invariants and the KV guarantees. The error is the first
+// shard verification failure, if any; per-shard outcomes are always
+// returned.
+func (s *ShardedStore) Close() ([]ShardResult, error) {
+	s.BeginDrain()
+	s.wg.Wait()
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
+		return s.results, fmt.Errorf("pmkv: store closed")
+	}
+	s.closed = true
+	var firstErr error
+	for _, sh := range s.shards {
+		r := ShardResult{Shard: sh.id, Crashed: sh.eng.Crashed(), Cycles: sh.eng.Now()}
+		res, err := sh.eng.Close()
+		if err != nil {
+			r.Err = err
+		} else {
+			r.Report, r.Err = sh.eng.Verify(res)
+			if r.Err == nil {
+				r.Recovered, r.Err = sh.eng.RecoveredState(res)
+			}
+		}
+		if r.Err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("pmkv: shard %d: %w", sh.id, r.Err)
+		}
+		s.results = append(s.results, r)
+	}
+	return s.results, firstErr
+}
+
+// CombineFingerprints folds per-shard recovery fingerprints (in shard
+// order) into one canonical store fingerprint.
+func CombineFingerprints(fps []string) string {
+	return stats.MustFingerprint(fps)
+}
+
+// MergeRecovered unions per-shard recovered states. Shards partition the
+// keyspace, so the maps are disjoint.
+func MergeRecovered(results []ShardResult) map[string][]byte {
+	out := make(map[string][]byte)
+	for _, r := range results {
+		for k, v := range r.Recovered {
+			out[k] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+// Package wire implements pmkvd's line protocol encoding. The response
+// path is the server's per-op hot path — every acknowledged operation
+// writes exactly one JSON line — so encoding is done by appending into a
+// caller-owned buffer instead of through encoding/json: zero allocations
+// per response once the connection's buffer has grown to its working
+// size. The output is byte-compatible with what encoding/json produces
+// for the equivalent struct (same field order, same omitempty rules), so
+// existing clients parse it unchanged.
+package wire
+
+import "unicode/utf8"
+
+// Response is one server reply line. Zero-valued optional fields are
+// omitted from the encoding, mirroring encoding/json's omitempty.
+type Response struct {
+	OK      bool
+	Found   bool
+	Value   []byte
+	Crashed bool
+	Error   string
+}
+
+const hexDigits = "0123456789abcdef"
+
+// AppendResponse appends the one-line JSON encoding of r (including the
+// trailing newline) to dst and returns the extended slice. It performs no
+// allocations beyond growing dst.
+func AppendResponse(dst []byte, r *Response) []byte {
+	if r.OK {
+		dst = append(dst, `{"ok":true`...)
+	} else {
+		dst = append(dst, `{"ok":false`...)
+	}
+	if r.Found {
+		dst = append(dst, `,"found":true`...)
+	}
+	if len(r.Value) > 0 {
+		dst = append(dst, `,"value":`...)
+		dst = appendJSONString(dst, r.Value)
+	}
+	if r.Crashed {
+		dst = append(dst, `,"crashed":true`...)
+	}
+	if r.Error != "" {
+		dst = append(dst, `,"error":`...)
+		dst = appendJSONStringStr(dst, r.Error)
+	}
+	dst = append(dst, '}', '\n')
+	return dst
+}
+
+// appendJSONString appends s as a JSON string literal using the same
+// escaping rules as encoding/json: the two mandatory escapes, \uXXXX for
+// control characters (with the \n, \r, \t shorthands), HTML-unsafe
+// characters escaped for embedding parity, and invalid UTF-8 replaced
+// with �.
+func appendJSONString(dst, s []byte) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		b := s[i]
+		if b < utf8.RuneSelf {
+			if safeJSONByte(b) {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '"':
+				dst = append(dst, '\\', '"')
+			case '\\':
+				dst = append(dst, '\\', '\\')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				// Control characters and the HTML-unsafe trio <, >, &.
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xf])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRune(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i++
+			start = i
+			continue
+		}
+		// U+2028 and U+2029 break JavaScript string literals; encoding/json
+		// escapes them and so do we, for byte compatibility.
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xf])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	dst = append(dst, '"')
+	return dst
+}
+
+// appendJSONStringStr is appendJSONString for string inputs, avoiding a
+// []byte conversion allocation on the error path.
+func appendJSONStringStr(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		b := s[i]
+		if b < utf8.RuneSelf {
+			if safeJSONByte(b) {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '"':
+				dst = append(dst, '\\', '"')
+			case '\\':
+				dst = append(dst, '\\', '\\')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xf])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i++
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xf])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	dst = append(dst, '"')
+	return dst
+}
+
+// safeJSONByte reports whether an ASCII byte can appear in a JSON string
+// literal unescaped under encoding/json's default (HTML-escaping) rules.
+func safeJSONByte(b byte) bool {
+	return b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&'
+}

@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// jsonResponse mirrors pmkvd's original encoding/json response struct;
+// AppendResponse must stay byte-compatible with it.
+type jsonResponse struct {
+	OK      bool   `json:"ok"`
+	Found   bool   `json:"found,omitempty"`
+	Value   string `json:"value,omitempty"`
+	Crashed bool   `json:"crashed,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+func TestAppendResponseMatchesEncodingJSON(t *testing.T) {
+	cases := []Response{
+		{OK: true},
+		{OK: false},
+		{OK: true, Found: true},
+		{OK: true, Found: true, Value: []byte("alice")},
+		{OK: true, Found: true, Value: []byte("")},
+		{OK: true, Found: true, Value: []byte(`quo"te\back`)},
+		{OK: true, Value: []byte("tab\there\nnewline\rret")},
+		{OK: true, Value: []byte("ctl\x01\x1fend")},
+		{OK: true, Value: []byte("<html>&amp;</html>")},
+		{OK: true, Value: []byte("unicode: héllo ☃ 日本")},
+		{OK: true, Value: []byte("ls ps end")},
+		{OK: true, Value: []byte{0xff, 0xfe, 'a'}}, // invalid UTF-8
+		{OK: true, Found: true, Crashed: true, Value: []byte("v")},
+		{Error: "unknown op \"zap\""},
+		{Error: "bad request: invalid character '\\n'"},
+	}
+	for _, r := range cases {
+		want, err := json.Marshal(jsonResponse{
+			OK: r.OK, Found: r.Found, Value: string(r.Value), Crashed: r.Crashed, Error: r.Error,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := AppendResponse(nil, &r)
+		if string(got) != string(want)+"\n" {
+			t.Errorf("AppendResponse(%+v)\n got %q\nwant %q", r, got, string(want)+"\n")
+		}
+	}
+}
+
+func TestAppendResponseRoundTrips(t *testing.T) {
+	r := Response{OK: true, Found: true, Value: []byte("weird \x00\x1f \\ \"   日本 value")}
+	var back jsonResponse
+	if err := json.Unmarshal(AppendResponse(nil, &r), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// The NUL survives as an escape; invalid UTF-8 would come back as U+FFFD.
+	if back.Value != string(r.Value) {
+		t.Fatalf("round trip changed value: %q -> %q", r.Value, back.Value)
+	}
+}
+
+func TestAppendResponseAppends(t *testing.T) {
+	prefix := []byte("prefix|")
+	out := AppendResponse(prefix, &Response{OK: true})
+	if !strings.HasPrefix(string(out), "prefix|{") {
+		t.Fatalf("did not append: %q", out)
+	}
+}
+
+// TestAppendResponseZeroAlloc is the hot-path guard: once a connection's
+// buffer has reached its working size, encoding a response must not
+// allocate at all.
+func TestAppendResponseZeroAlloc(t *testing.T) {
+	buf := make([]byte, 0, 4096)
+	resps := []Response{
+		{OK: true, Found: true, Value: []byte("the quick brown fox jumps over the lazy dog")},
+		{OK: true},
+		{OK: true, Found: true, Crashed: true, Value: []byte(`needs "escaping" \ here`)},
+		{Error: "draining"},
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := range resps {
+			buf = AppendResponse(buf[:0], &resps[i])
+		}
+		if len(buf) == 0 {
+			t.Fatal("no output")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendResponse allocates %.1f times per run; want 0", allocs)
+	}
+}
+
+func BenchmarkAppendResponse(b *testing.B) {
+	r := Response{OK: true, Found: true, Value: []byte("user-profile-value-0123456789")}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendResponse(buf[:0], &r)
+	}
+}

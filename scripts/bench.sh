@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# bench.sh — run the top-level benchmark suite and emit BENCH_PR4.json.
+# bench.sh — run the top-level benchmark suite and emit the committed benchmark baseline.
 #
 # Usage: scripts/bench.sh [-quick] [-out FILE] [-compare BASELINE] [-count N]
 #
 #   -quick            run only the headline benchmarks (Fig4 kernel,
-#                     simulator core, machine construction) — the CI gate
+#                     simulator core, machine construction, pmkv shard
+#                     scaling) — the CI gate
 #   -out FILE         where to write the aggregated JSON
-#                     (default BENCH_PR4.json)
+#                     (default BENCH_PR5.json)
 #   -compare BASELINE also compare against a committed baseline JSON and
 #                     fail on >10% ns/op regression (see cmd/benchjson)
 #   -count N          runs per benchmark (default 7 quick / 5 full)
@@ -22,7 +23,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=0
-out=BENCH_PR4.json
+out=BENCH_PR5.json
 compare=""
 count=""
 while [ $# -gt 0 ]; do
@@ -48,7 +49,7 @@ while [ $# -gt 0 ]; do
     shift
 done
 
-headline='^(BenchmarkFig4IDT|BenchmarkSimulatorCore|BenchmarkTable1Config)$'
+headline='^(BenchmarkFig4IDT|BenchmarkSimulatorCore|BenchmarkTable1Config|BenchmarkPmkvShardScaling)$'
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
