@@ -1,0 +1,183 @@
+// Admin endpoint: pmkvd -admin ADDR serves live operational telemetry on
+// a second listener, out of band of the data protocol:
+//
+//	/metrics       Prometheus 0.0.4 text exposition — per-shard pipeline
+//	               stage histograms (seconds), persist-latency histograms
+//	               (simulated cycles), and shard/engine counters.
+//	/statz         JSON superset of the wire "stats" op: aggregate +
+//	               per-shard ServiceStats plus the live per-stage
+//	               breakdown (pooled and per shard).
+//	/debug/pprof/  the standard Go profiling handlers.
+//
+// The scrape path takes no lock the data path contends on: stage
+// histograms are atomic counters folded per-shard, and collector
+// snapshots take the same short mutex the wire stats op already does.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"persistbarriers/internal/obs"
+	"persistbarriers/internal/pmkv"
+	"persistbarriers/internal/telemetry"
+)
+
+// statzReply is the /statz payload. It is a strict superset of the wire
+// "stats" reply (same field names for the shared parts) with the stage
+// tracer's live breakdown attached.
+type statzReply struct {
+	OK     bool             `json:"ok"`
+	Stats  obs.ServiceStats `json:"stats"`
+	Shards []shardStats     `json:"shards"`
+
+	// Stages pools every shard's stage-segment histograms (exact merge);
+	// ShardStages is the same breakdown per shard.
+	Stages      []telemetry.StageStats   `json:"stages,omitempty"`
+	ShardStages [][]telemetry.StageStats `json:"shard_stages,omitempty"`
+}
+
+// statz assembles the stats snapshot shared by the wire "stats" op and
+// the admin /statz handler.
+func (s *server) statz() statzReply {
+	metrics := s.store.Metrics()
+	reply := statzReply{OK: true, Shards: make([]shardStats, len(metrics))}
+	per := make([]obs.ServiceStats, len(metrics))
+	for i, m := range metrics {
+		per[i] = s.collectors[i].Snapshot()
+		reply.Shards[i] = shardStats{ShardMetrics: m, Service: per[i]}
+	}
+	reply.Stats = obs.AggregateServiceStats(per)
+	if s.tracer.Enabled() {
+		reply.Stages = s.tracer.StageSummary()
+		reply.ShardStages = make([][]telemetry.StageStats, s.tracer.Shards())
+		for i := range reply.ShardStages {
+			reply.ShardStages[i] = s.tracer.ShardStageSummary(i)
+		}
+	}
+	return reply
+}
+
+// startAdmin binds the admin listener and serves it in the background.
+// The returned listener is closed by the caller at drain time.
+func (s *server) startAdmin(addr string) (net.Listener, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/statz", s.handleStatz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln, nil
+}
+
+func (s *server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(s.statz())
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(s.renderMetrics(nil))
+}
+
+// renderMetrics composes the full exposition: stage histograms from the
+// tracer, persist-latency cycle histograms and engine counters from the
+// per-shard collectors, and pipeline gauges from the store.
+func (s *server) renderMetrics(dst []byte) []byte {
+	dst = s.tracer.AppendStageMetrics(dst)
+
+	metrics := s.store.Metrics()
+	per := make([]obs.ServiceStats, len(metrics))
+	for i := range metrics {
+		per[i] = s.collectors[i].Snapshot()
+	}
+
+	dst = telemetry.AppendMetricHeader(dst, "pmkv_persist_latency_cycles", "histogram",
+		"Epoch completion-to-durability latency in simulated cycles, per shard.")
+	for i, st := range per {
+		if len(st.LatencyHist) == 0 {
+			continue
+		}
+		dst = telemetry.AppendCycleHistogram(dst, "pmkv_persist_latency_cycles",
+			shardLabel(i), st.LatencyHist)
+	}
+
+	counters := []struct {
+		name, help string
+		value      func(obs.ServiceStats) uint64
+	}{
+		{"pmkv_txs_total", "Transactions retired, per shard.",
+			func(st obs.ServiceStats) uint64 { return st.Txs }},
+		{"pmkv_epochs_opened_total", "Epochs opened, per shard.",
+			func(st obs.ServiceStats) uint64 { return st.EpochsOpened }},
+		{"pmkv_epochs_persisted_total", "Epochs made durable, per shard.",
+			func(st obs.ServiceStats) uint64 { return st.EpochsPersisted }},
+	}
+	for _, c := range counters {
+		dst = telemetry.AppendMetricHeader(dst, c.name, "counter", c.help)
+		for i, st := range per {
+			dst = telemetry.AppendUintSample(dst, c.name, shardLabel(i), c.value(st))
+		}
+	}
+
+	dst = telemetry.AppendMetricHeader(dst, "pmkv_conflicts_total", "counter",
+		"Epoch conflicts by kind, per shard.")
+	for i, st := range per {
+		sl := strconv.Itoa(i)
+		dst = telemetry.AppendUintSample(dst, "pmkv_conflicts_total",
+			fmt.Sprintf("shard=%q,kind=\"intra\"", sl), st.ConflictsIntra)
+		dst = telemetry.AppendUintSample(dst, "pmkv_conflicts_total",
+			fmt.Sprintf("shard=%q,kind=\"inter\"", sl), st.ConflictsInter)
+		dst = telemetry.AppendUintSample(dst, "pmkv_conflicts_total",
+			fmt.Sprintf("shard=%q,kind=\"eviction\"", sl), st.ConflictsEviction)
+	}
+
+	gauges := []struct {
+		name, help string
+		value      func(pmkv.ShardMetrics) float64
+	}{
+		{"pmkv_shard_cycle", "Shard simulated clock.",
+			func(m pmkv.ShardMetrics) float64 { return float64(m.Cycle) }},
+		{"pmkv_shard_queue_depth", "Requests waiting in the shard mailbox.",
+			func(m pmkv.ShardMetrics) float64 { return float64(m.QueueDepth) }},
+		{"pmkv_shard_mailbox_capacity", "Shard mailbox capacity.",
+			func(m pmkv.ShardMetrics) float64 { return float64(m.MailboxCap) }},
+		{"pmkv_shard_publishes_durable", "Durable-prefix watermark (publishes covered).",
+			func(m pmkv.ShardMetrics) float64 { return float64(m.Durable) }},
+		{"pmkv_shard_publishes_total", "Publishes issued.",
+			func(m pmkv.ShardMetrics) float64 { return float64(m.Total) }},
+		{"pmkv_shard_batches_total", "Group commits retired.",
+			func(m pmkv.ShardMetrics) float64 { return float64(m.Batches) }},
+		{"pmkv_shard_avg_batch", "Mean requests per group commit.",
+			func(m pmkv.ShardMetrics) float64 { return m.AvgBatch }},
+	}
+	for _, g := range gauges {
+		typ := "gauge"
+		if g.name == "pmkv_shard_batches_total" || g.name == "pmkv_shard_publishes_total" {
+			typ = "counter"
+		}
+		dst = telemetry.AppendMetricHeader(dst, g.name, typ, g.help)
+		for _, m := range metrics {
+			dst = telemetry.AppendSample(dst, g.name, shardLabel(m.Shard), g.value(m))
+		}
+	}
+	return dst
+}
+
+func shardLabel(i int) string {
+	return fmt.Sprintf("shard=%q", strconv.Itoa(i))
+}

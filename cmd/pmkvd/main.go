@@ -49,6 +49,7 @@ import (
 	"persistbarriers/internal/obs"
 	"persistbarriers/internal/pmkv"
 	"persistbarriers/internal/sim"
+	"persistbarriers/internal/telemetry"
 	"persistbarriers/internal/wire"
 )
 
@@ -62,6 +63,10 @@ func main() {
 		crashAt  = flag.Uint64("crash-at", 0, "simulated power loss at this cycle of each shard's clock (0 = never)")
 		mailbox  = flag.Int("mailbox", 256, "per-shard request queue depth")
 		maxbatch = flag.Int("maxbatch", 64, "max requests per group commit")
+
+		admin      = flag.String("admin", "", "admin HTTP address for /metrics, /statz, /debug/pprof (empty = off)")
+		flightDump = flag.String("flight-dump", "", "write the flight-recorder dump here on crash/drain (empty = off)")
+		flightRing = flag.Int("flight-ring", telemetry.DefaultRing, "per-shard flight-recorder capacity (rounded up to a power of two)")
 
 		selfcheck = flag.Int("selfcheck", 0, "run N crash-injection instants and exit (no server)")
 		sessions  = flag.Int("sessions", 6, "selfcheck: concurrent scripted sessions")
@@ -93,6 +98,9 @@ func main() {
 	}
 	if *selfcheck < 0 {
 		fail("-selfcheck must be >= 0, got %d", *selfcheck)
+	}
+	if *flightRing < 1 {
+		fail("-flight-ring must be >= 1, got %d", *flightRing)
 	}
 	if *sessions < 1 {
 		fail("-sessions must be >= 1, got %d", *sessions)
@@ -137,7 +145,7 @@ func main() {
 		}
 		return
 	}
-	if err := serve(*addr, cfg); err != nil {
+	if err := serve(*addr, *admin, *flightDump, *flightRing, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "pmkvd:", err)
 		os.Exit(1)
 	}
@@ -233,18 +241,13 @@ type shardStats struct {
 	Service obs.ServiceStats `json:"service"`
 }
 
-// statsReply is the (cold-path) stats line.
-type statsReply struct {
-	OK     bool             `json:"ok"`
-	Stats  obs.ServiceStats `json:"stats"`
-	Shards []shardStats     `json:"shards"`
-}
-
 // server glues the listener, the per-connection readers, and the sharded
 // store whose workers own all engine forward progress.
 type server struct {
 	store      *pmkv.ShardedStore
 	collectors []*obs.Collector
+	tracer     *telemetry.Tracer // nil when telemetry is off; nil-safe throughout
+	flightPath string            // where finalReport writes the flight dump ("" = off)
 	ln         net.Listener
 
 	mu       sync.Mutex
@@ -254,7 +257,7 @@ type server struct {
 	wg sync.WaitGroup
 }
 
-func serve(addr string, cfg pmkv.ShardedConfig) error {
+func serve(addr, adminAddr, flightPath string, flightRing int, cfg pmkv.ShardedConfig) error {
 	collectors := make([]*obs.Collector, cfg.Shards)
 	for i := range collectors {
 		collectors[i] = obs.NewCollector(0)
@@ -265,7 +268,13 @@ func serve(addr string, cfg pmkv.ShardedConfig) error {
 
 	s := &server{
 		collectors: collectors,
+		flightPath: flightPath,
 		conns:      make(map[net.Conn]bool),
+	}
+	// The stage tracer rides along whenever anything consumes it: the
+	// admin endpoint exposes it live, the flight dump post-mortem.
+	if adminAddr != "" || flightPath != "" {
+		s.tracer = telemetry.New(telemetry.Config{Shards: cfg.Shards, Ring: flightRing})
 	}
 	// OnCrash runs on the crashing shard's worker goroutine; the drain must
 	// start elsewhere (BeginDrain waits on producers only workers unblock).
@@ -283,6 +292,17 @@ func serve(addr string, cfg pmkv.ShardedConfig) error {
 		return err
 	}
 	s.ln = ln
+
+	var adminLn net.Listener
+	if adminAddr != "" {
+		adminLn, err = s.startAdmin(adminAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("admin listener: %w", err)
+		}
+		defer adminLn.Close()
+		fmt.Printf("pmkvd: admin endpoint on http://%s (/metrics /statz /debug/pprof)\n", adminLn.Addr())
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
@@ -371,18 +391,31 @@ func (s *server) handle(conn net.Conn) {
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	w := bufio.NewWriterSize(conn, 32<<10)
 	buf := make([]byte, 0, 4<<10)
+	// One span per connection, reused for every request: the stamp/fold
+	// path stays allocation-free (enforced by telemetry's AllocsPerRun
+	// guards), so tracing costs a few clock reads per op.
+	var span *telemetry.Span
+	if s.tracer.Enabled() {
+		span = new(telemetry.Span)
+	}
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
+		span.Reset()
+		span.Stamp(telemetry.StageConnRead)
 		var req request
+		var ack pmkv.ShardAck
+		traced := false
 		if err := json.Unmarshal(line, &req); err != nil {
 			buf = wire.AppendResponse(buf[:0], &wire.Response{Error: "bad request: " + err.Error()})
 		} else if req.Op == "stats" {
 			buf = s.appendStats(buf[:0])
 		} else {
-			resp := s.dispatch(sess, req)
+			var resp wire.Response
+			resp, ack = s.dispatch(sess, req, span)
+			traced = span != nil && ack.Shard >= 0 && ack.Err == nil
 			buf = wire.AppendResponse(buf[:0], &resp)
 		}
 		if _, err := w.Write(buf); err != nil {
@@ -391,11 +424,25 @@ func (s *server) handle(conn net.Conn) {
 		if err := w.Flush(); err != nil {
 			return
 		}
+		if traced {
+			span.Stamp(telemetry.StageAckWritten)
+			s.tracer.Complete(ack.Shard, span, telemetry.Meta{
+				Op:      req.Op,
+				Sess:    sess.ID,
+				Key:     req.Key,
+				Durable: ack.Durable,
+				Crashed: ack.Crashed,
+				OK:      true,
+			})
+		}
 	}
 }
 
 // dispatch routes one data operation to its shard and shapes the ack.
-func (s *server) dispatch(sess *pmkv.ShardedSession, req request) wire.Response {
+// The returned ack's Shard is -1 when the request never reached a shard
+// (unknown op, missing key), so the caller knows not to trace it.
+func (s *server) dispatch(sess *pmkv.ShardedSession, req request, span *telemetry.Span) (wire.Response, pmkv.ShardAck) {
+	none := pmkv.ShardAck{Shard: -1}
 	var op pmkv.Op
 	switch req.Op {
 	case "get":
@@ -405,33 +452,26 @@ func (s *server) dispatch(sess *pmkv.ShardedSession, req request) wire.Response 
 	case "del":
 		op = pmkv.Delete
 	default:
-		return wire.Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+		return wire.Response{Error: fmt.Sprintf("unknown op %q", req.Op)}, none
 	}
 	if req.Key == "" {
-		return wire.Response{Error: "missing key"}
+		return wire.Response{Error: "missing key"}, none
 	}
-	ack := s.store.Do(sess, op, req.Key, []byte(req.Value))
+	ack := s.store.DoSpan(sess, op, req.Key, []byte(req.Value), span)
 	switch {
 	case ack.Err == pmkv.ErrDraining:
-		return wire.Response{Error: "draining"}
+		return wire.Response{Error: "draining"}, ack
 	case ack.Err != nil:
-		return wire.Response{Error: ack.Err.Error()}
+		return wire.Response{Error: ack.Err.Error()}, ack
 	}
-	return wire.Response{OK: true, Found: ack.Resp.Found, Value: ack.Resp.Value, Crashed: ack.Crashed}
+	return wire.Response{OK: true, Found: ack.Resp.Found, Value: ack.Resp.Value, Crashed: ack.Crashed}, ack
 }
 
-// appendStats encodes the stats reply (aggregate + per-shard) onto buf.
-// This is the cold path; it uses encoding/json.
+// appendStats encodes the stats reply (aggregate + per-shard, plus the
+// stage breakdown when tracing is on) onto buf. This is the cold path;
+// it uses encoding/json.
 func (s *server) appendStats(buf []byte) []byte {
-	metrics := s.store.Metrics()
-	reply := statsReply{OK: true, Shards: make([]shardStats, len(metrics))}
-	per := make([]obs.ServiceStats, len(metrics))
-	for i, m := range metrics {
-		per[i] = s.collectors[i].Snapshot()
-		reply.Shards[i] = shardStats{ShardMetrics: m, Service: per[i]}
-	}
-	reply.Stats = obs.AggregateServiceStats(per)
-	line, err := json.Marshal(reply)
+	line, err := json.Marshal(s.statz())
 	if err != nil {
 		return wire.AppendResponse(buf, &wire.Response{Error: "stats: " + err.Error()})
 	}
@@ -469,5 +509,76 @@ func (s *server) finalReport() error {
 	}
 	fmt.Printf("  recovered keys: %d; combined fingerprint %.16s\n", recovered, pmkv.CombineFingerprints(fps))
 	fmt.Printf("  recovery invariants: OK\n")
+	if err := s.flightReport(results); err != nil {
+		return err
+	}
+	return nil
+}
+
+// flightReport writes the flight-recorder dump and cross-checks it
+// against the recovery reports: every non-crashed acked op carried a
+// durable watermark at ack time, and the final image's durable prefix
+// can only have grown since — so the largest acked watermark per shard
+// must be covered by that shard's recovered DurablePublishes. A
+// violation means an ack escaped before its write was durable, which is
+// exactly the bug class the paper's write-entry discipline exists to
+// prevent.
+func (s *server) flightReport(results []pmkv.ShardResult) error {
+	if !s.tracer.Enabled() {
+		return nil
+	}
+	if stages := s.tracer.StageSummary(); len(stages) > 0 {
+		fmt.Printf("  stage breakdown (pooled across shards, microseconds):\n")
+		for _, st := range stages {
+			if st.Count == 0 {
+				continue
+			}
+			fmt.Printf("    %-12s n=%-8d mean=%-10.1f p50=%-10.1f p90=%-10.1f p99=%.1f\n",
+				st.Stage, st.Count, st.MeanUS, st.P50US, st.P90US, st.P99US)
+		}
+	}
+	dump := s.tracer.Dump()
+	events := 0
+	bad := 0
+	for _, fs := range dump.Shards {
+		durable := -1
+		for _, r := range results {
+			if r.Shard == fs.Shard {
+				durable = r.Report.DurablePublishes
+			}
+		}
+		events += fs.Retained
+		for _, ev := range fs.Events {
+			if ev.OK && !ev.Crashed && durable >= 0 && ev.Durable > durable {
+				bad++
+				fmt.Fprintf(os.Stderr, "pmkvd: shard %d op %s %q acked at watermark %d but only %d publishes recovered durable\n",
+					fs.Shard, ev.Op, ev.Key, ev.Durable, durable)
+			}
+		}
+	}
+	if s.flightPath != "" {
+		f, err := os.Create(s.flightPath)
+		if err != nil {
+			return fmt.Errorf("flight dump: %w", err)
+		}
+		if err := s.tracer.WriteDump(f); err != nil {
+			f.Close()
+			return fmt.Errorf("flight dump: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("flight dump: %w", err)
+		}
+	}
+	where := "not written (-flight-dump unset)"
+	if s.flightPath != "" {
+		where = s.flightPath
+	}
+	if bad > 0 {
+		fmt.Printf("  flight recorder: %d events, dump %s, consistency FAILED (%d acks beyond durable prefix)\n",
+			events, where, bad)
+		return fmt.Errorf("flight recorder: %d acked ops beyond the recovered durable prefix", bad)
+	}
+	fmt.Printf("  flight recorder: %d events, dump %s, consistency OK (acked watermarks within durable prefix)\n",
+		events, where)
 	return nil
 }

@@ -23,10 +23,13 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
 	"time"
+
+	"persistbarriers/internal/telemetry"
 )
 
 const histBuckets = 40 // bucket i holds latencies < 2^i microseconds
@@ -88,6 +91,7 @@ func main() {
 		valueLen = flag.Int("value", 64, "value bytes per put")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		jsonOut  = flag.Bool("json", false, "emit a JSON summary instead of text")
+		admin    = flag.String("admin", "", "pmkvd admin address; scrape /statz after the run for the server-side stage breakdown")
 	)
 	flag.Parse()
 
@@ -142,7 +146,36 @@ func main() {
 		fail("%v", dialErr)
 	}
 
-	report(stats, elapsed, *conns, *jsonOut)
+	var stages []telemetry.StageStats
+	if *admin != "" {
+		var err error
+		if stages, err = scrapeStages(*admin); err != nil {
+			fmt.Fprintf(os.Stderr, "pmkvload: admin scrape: %v\n", err)
+		}
+	}
+	report(stats, elapsed, *conns, *jsonOut, stages)
+}
+
+// scrapeStages pulls the pooled server-side stage breakdown from pmkvd's
+// admin /statz endpoint, attributing the client-observed latency to
+// pipeline segments measured inside the server.
+func scrapeStages(admin string) ([]telemetry.StageStats, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + admin + "/statz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/statz: %s", resp.Status)
+	}
+	var statz struct {
+		Stages []telemetry.StageStats `json:"stages"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&statz); err != nil {
+		return nil, err
+	}
+	return statz.Stages, nil
 }
 
 type genConfig struct {
@@ -268,7 +301,38 @@ func percentileUS(hist *[histBuckets]uint64, total uint64, p float64) uint64 {
 	return uint64(1) << (histBuckets - 1)
 }
 
-func report(stats []connStats, elapsed time.Duration, conns int, jsonOut bool) {
+// summarySchemaVersion identifies the -json layout. Adding fields is
+// backward compatible; bump this when a field is renamed, removed, or
+// changes meaning. TestSummarySchemaLocked pins the current set.
+const summarySchemaVersion = 2
+
+// Summary is the -json output: the client-side tallies plus, when -admin
+// was given, the server-side per-stage breakdown for the same run.
+type Summary struct {
+	SchemaVersion int     `json:"schema_version"`
+	Conns         int     `json:"conns"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	Ops           uint64  `json:"ops"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	Gets          uint64  `json:"gets"`
+	Puts          uint64  `json:"puts"`
+	Dels          uint64  `json:"dels"`
+	Found         uint64  `json:"found"`
+	NotFound      uint64  `json:"not_found"`
+	Errors        uint64  `json:"errors"`
+	Crashed       uint64  `json:"crashed"`
+	Draining      uint64  `json:"draining"`
+	MeanUS        uint64  `json:"mean_us"`
+	P50US         uint64  `json:"p50_us"`
+	P90US         uint64  `json:"p90_us"`
+	P99US         uint64  `json:"p99_us"`
+	P999US        uint64  `json:"p999_us"`
+	MaxUS         uint64  `json:"max_us"`
+
+	ServerStages []telemetry.StageStats `json:"server_stages,omitempty"`
+}
+
+func report(stats []connStats, elapsed time.Duration, conns int, jsonOut bool, stages []telemetry.StageStats) {
 	var total connStats
 	for i := range stats {
 		s := &stats[i]
@@ -300,25 +364,27 @@ func report(stats []connStats, elapsed time.Duration, conns int, jsonOut bool) {
 	}
 
 	if jsonOut {
-		out := map[string]any{
-			"conns":       conns,
-			"elapsed_sec": elapsed.Seconds(),
-			"ops":         total.ops,
-			"ops_per_sec": opsPerSec,
-			"gets":        total.gets,
-			"puts":        total.puts,
-			"dels":        total.dels,
-			"found":       total.found,
-			"not_found":   total.notFound,
-			"errors":      total.errors,
-			"crashed":     total.crashed,
-			"draining":    total.draining,
-			"mean_us":     meanUS,
-			"p50_us":      p50,
-			"p90_us":      p90,
-			"p99_us":      p99,
-			"p999_us":     p999,
-			"max_us":      total.maxUS,
+		out := Summary{
+			SchemaVersion: summarySchemaVersion,
+			Conns:         conns,
+			ElapsedSec:    elapsed.Seconds(),
+			Ops:           total.ops,
+			OpsPerSec:     opsPerSec,
+			Gets:          total.gets,
+			Puts:          total.puts,
+			Dels:          total.dels,
+			Found:         total.found,
+			NotFound:      total.notFound,
+			Errors:        total.errors,
+			Crashed:       total.crashed,
+			Draining:      total.draining,
+			MeanUS:        meanUS,
+			P50US:         p50,
+			P90US:         p90,
+			P99US:         p99,
+			P999US:        p999,
+			MaxUS:         total.maxUS,
+			ServerStages:  stages,
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.Encode(out)
@@ -330,4 +396,14 @@ func report(stats []connStats, elapsed time.Duration, conns int, jsonOut bool) {
 		total.found, total.notFound, total.errors, total.crashed, total.draining)
 	fmt.Printf("  latency (us, bucket upper bounds): mean=%d p50=%d p90=%d p99=%d p99.9=%d max=%d\n",
 		meanUS, p50, p90, p99, p999, total.maxUS)
+	if len(stages) > 0 {
+		fmt.Printf("  server stages (us): ")
+		for i, st := range stages {
+			if i > 0 {
+				fmt.Printf(" | ")
+			}
+			fmt.Printf("%s p50=%.1f p99=%.1f", st.Stage, st.P50US, st.P99US)
+		}
+		fmt.Println()
+	}
 }

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+
+	"persistbarriers/internal/telemetry"
+)
+
+// TestSummarySchemaLocked pins the -json output schema: the exact
+// top-level field set, the schema_version value, and the per-stage
+// field set. Downstream scripts (EXPERIMENTS tables, dashboards) key on
+// these names; renaming or dropping one must bump summarySchemaVersion
+// and this test together.
+func TestSummarySchemaLocked(t *testing.T) {
+	s := Summary{
+		SchemaVersion: summarySchemaVersion,
+		ServerStages:  []telemetry.StageStats{{Stage: "route"}},
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"schema_version", "conns", "elapsed_sec", "ops", "ops_per_sec",
+		"gets", "puts", "dels", "found", "not_found", "errors", "crashed",
+		"draining", "mean_us", "p50_us", "p90_us", "p99_us", "p999_us",
+		"max_us", "server_stages",
+	}
+	got := make([]string, 0, len(m))
+	for k := range m {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	sorted := append([]string(nil), want...)
+	sort.Strings(sorted)
+	if strings.Join(got, ",") != strings.Join(sorted, ",") {
+		t.Fatalf("summary fields changed:\n got %v\nwant %v\n(bump summarySchemaVersion and update this test deliberately)", got, sorted)
+	}
+
+	var ver int
+	if err := json.Unmarshal(m["schema_version"], &ver); err != nil || ver != 2 {
+		t.Fatalf("schema_version = %s, want 2", m["schema_version"])
+	}
+
+	var stages []map[string]json.RawMessage
+	if err := json.Unmarshal(m["server_stages"], &stages); err != nil || len(stages) != 1 {
+		t.Fatalf("server_stages malformed: %s", m["server_stages"])
+	}
+	for _, k := range []string{"stage", "count", "mean_us", "p50_us", "p90_us", "p99_us"} {
+		if _, ok := stages[0][k]; !ok {
+			t.Fatalf("server_stages entry missing %q: %s", k, m["server_stages"])
+		}
+	}
+}
+
+// TestSummaryOmitsStagesWithoutAdmin: without -admin the summary must not
+// grow an empty server_stages key.
+func TestSummaryOmitsStagesWithoutAdmin(t *testing.T) {
+	raw, err := json.Marshal(Summary{SchemaVersion: summarySchemaVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "server_stages") {
+		t.Fatalf("server_stages present with no admin scrape: %s", raw)
+	}
+}

@@ -1,0 +1,42 @@
+// Command promcheck validates Prometheus 0.0.4 text exposition read from
+// stdin (or the files named as arguments): well-formed samples, legal
+// metric names, and per-series histogram invariants (strictly increasing
+// le bounds, nondecreasing cumulative counts, +Inf == _count). The scale
+// smoke pipes a live /metrics scrape through it so format drift fails CI
+// rather than a dashboard.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"persistbarriers/internal/telemetry"
+)
+
+func main() {
+	check := func(name string, data []byte) {
+		if err := telemetry.ValidateExposition(data); err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("promcheck: %s OK (%d bytes)\n", name, len(data))
+	}
+	if len(os.Args) > 1 {
+		for _, path := range os.Args[1:] {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "promcheck:", err)
+				os.Exit(1)
+			}
+			check(path, data)
+		}
+		return
+	}
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	check("stdin", data)
+}

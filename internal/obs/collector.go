@@ -1,13 +1,14 @@
 package obs
 
 import (
-	"sort"
 	"sync"
 
 	"persistbarriers/internal/sim"
 )
 
-// CollectorRing is the default bound on retained persist-latency samples.
+// CollectorRing is retained for API compatibility with the sample-ring
+// collector; the histogram collector keeps every sample's bucket count,
+// so no window bound applies anymore.
 const CollectorRing = 8192
 
 // ServiceStats is a point-in-time snapshot of a Collector.
@@ -22,12 +23,18 @@ type ServiceStats struct {
 	ConflictsInter    uint64 `json:"conflicts_inter"`
 	ConflictsEviction uint64 `json:"conflicts_eviction"`
 
-	// Persist latency (epoch completion to durability), in cycles, over
-	// the retained sample window.
+	// Persist latency (epoch completion to durability), in cycles.
+	// Percentiles are the pow-2 bucket upper bounds of the nearest-rank
+	// sample over all samples since the collector was built.
 	LatencySamples int       `json:"latency_samples"`
 	LatencyP50     sim.Cycle `json:"latency_p50"`
 	LatencyP90     sim.Cycle `json:"latency_p90"`
 	LatencyP99     sim.Cycle `json:"latency_p99"`
+
+	// LatencyHist carries the raw pow-2 bucket counts (bucket b counts
+	// latencies with bits.Len64(v) == b; trailing zero buckets trimmed) so
+	// per-shard snapshots merge exactly in AggregateServiceStats.
+	LatencyHist []uint64 `json:"latency_hist,omitempty"`
 }
 
 // EpochsPerKcycle is durable epochs per kilocycle — the engine's service
@@ -42,7 +49,9 @@ func (s ServiceStats) EpochsPerKcycle() float64 {
 // Collector is a Sink that folds the event stream into live serving
 // metrics: epoch throughput, persist-latency percentiles, and conflict
 // counts by kind. Unlike the Sampler it is safe for concurrent use — a
-// server's stats endpoint reads Snapshot while the engine emits.
+// server's stats endpoint reads Snapshot while the engine emits. Latency
+// samples fold into a power-of-two histogram at emission time, so
+// Snapshot never sorts and never drops samples.
 type Collector struct {
 	mu sync.Mutex
 
@@ -60,23 +69,18 @@ type Collector struct {
 	// keyed by (core, epoch). Entries are consumed by the persist event.
 	completedAt map[[2]int64]sim.Cycle
 
-	// latencies is a bounded ring of complete->persist latencies.
-	latencies []sim.Cycle
-	next      int
-	full      bool
-	ring      int
+	// hist folds complete->persist latencies; samples is its running
+	// total (maintained incrementally so Snapshot stays O(buckets)).
+	hist    Hist
+	samples uint64
 }
 
-// NewCollector builds a collector retaining up to ring latency samples
-// (<= 0 selects CollectorRing).
+// NewCollector builds a collector. The ring parameter is retained for
+// compatibility with the sample-ring implementation and is ignored: the
+// histogram is fixed-size and loses no samples.
 func NewCollector(ring int) *Collector {
-	if ring <= 0 {
-		ring = CollectorRing
-	}
 	return &Collector{
 		completedAt: make(map[[2]int64]sim.Cycle),
-		latencies:   make([]sim.Cycle, 0, ring),
-		ring:        ring,
 	}
 }
 
@@ -99,7 +103,8 @@ func (c *Collector) Emit(ev Event) {
 		key := [2]int64{int64(ev.Core), ev.Epoch}
 		if done, ok := c.completedAt[key]; ok {
 			delete(c.completedAt, key)
-			c.push(ev.Cycle - done)
+			c.hist.Observe(uint64(ev.Cycle - done))
+			c.samples++
 		}
 	case KConflict:
 		switch ev.Label {
@@ -111,16 +116,6 @@ func (c *Collector) Emit(ev Event) {
 			c.eviction++
 		}
 	}
-}
-
-func (c *Collector) push(lat sim.Cycle) {
-	if len(c.latencies) < c.ring {
-		c.latencies = append(c.latencies, lat)
-		return
-	}
-	c.latencies[c.next] = lat
-	c.next = (c.next + 1) % c.ring
-	c.full = true
 }
 
 // Snapshot returns the current metrics.
@@ -135,14 +130,13 @@ func (c *Collector) Snapshot() ServiceStats {
 		ConflictsIntra:    c.intra,
 		ConflictsInter:    c.inter,
 		ConflictsEviction: c.eviction,
-		LatencySamples:    len(c.latencies),
+		LatencySamples:    int(c.samples),
 	}
-	if len(c.latencies) > 0 {
-		sorted := append([]sim.Cycle(nil), c.latencies...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		s.LatencyP50 = percentile(sorted, 50)
-		s.LatencyP90 = percentile(sorted, 90)
-		s.LatencyP99 = percentile(sorted, 99)
+	if c.samples > 0 {
+		s.LatencyP50 = sim.Cycle(c.hist.Percentile(50))
+		s.LatencyP90 = sim.Cycle(c.hist.Percentile(90))
+		s.LatencyP99 = sim.Cycle(c.hist.Percentile(99))
+		s.LatencyHist = c.hist.Trimmed()
 	}
 	return s
 }
@@ -161,11 +155,14 @@ func percentile(sorted []sim.Cycle, p int) sim.Cycle {
 
 // AggregateServiceStats folds per-shard snapshots into one store-wide
 // view: counters sum, Cycle is the furthest shard clock, and latency
-// percentiles take the elementwise worst case (a conservative bound — the
-// true pooled percentile needs the raw samples, which per-shard snapshots
-// no longer carry).
+// percentiles are computed over the exact merged histogram (pow-2 bucket
+// counts add), so the pooled percentiles are true percentiles of the
+// union of all shards' samples. Snapshots that carry no histogram (a
+// legacy producer) fall back to the elementwise worst case.
 func AggregateServiceStats(per []ServiceStats) ServiceStats {
 	var agg ServiceStats
+	var merged Hist
+	histless := false
 	for _, s := range per {
 		if s.Cycle > agg.Cycle {
 			agg.Cycle = s.Cycle
@@ -177,6 +174,11 @@ func AggregateServiceStats(per []ServiceStats) ServiceStats {
 		agg.ConflictsInter += s.ConflictsInter
 		agg.ConflictsEviction += s.ConflictsEviction
 		agg.LatencySamples += s.LatencySamples
+		if s.LatencySamples > 0 && len(s.LatencyHist) == 0 {
+			histless = true
+		}
+		h := HistFromCounts(s.LatencyHist)
+		merged.Merge(&h)
 		if s.LatencyP50 > agg.LatencyP50 {
 			agg.LatencyP50 = s.LatencyP50
 		}
@@ -186,6 +188,12 @@ func AggregateServiceStats(per []ServiceStats) ServiceStats {
 		if s.LatencyP99 > agg.LatencyP99 {
 			agg.LatencyP99 = s.LatencyP99
 		}
+	}
+	if !histless && merged.Total() > 0 {
+		agg.LatencyP50 = sim.Cycle(merged.Percentile(50))
+		agg.LatencyP90 = sim.Cycle(merged.Percentile(90))
+		agg.LatencyP99 = sim.Cycle(merged.Percentile(99))
+		agg.LatencyHist = merged.Trimmed()
 	}
 	return agg
 }

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"encoding/json"
+	"strings"
 	"sync"
 	"testing"
 
@@ -10,7 +12,9 @@ import (
 func TestCollectorLatencyAndCounts(t *testing.T) {
 	c := NewCollector(0)
 	p := NewProbe(c)
-	// Three epochs: complete at t, persist at t+lat.
+	// Three epochs: complete at t, persist at t+lat. Percentiles are
+	// pow-2 bucket upper bounds of the nearest-rank sample: 20 -> 31,
+	// 300 -> 511.
 	lats := []sim.Cycle{10, 20, 300}
 	for i, lat := range lats {
 		t0 := sim.Cycle(100 * (i + 1))
@@ -35,29 +39,74 @@ func TestCollectorLatencyAndCounts(t *testing.T) {
 	if s.LatencySamples != 3 {
 		t.Fatalf("latency samples: %+v", s)
 	}
-	if s.LatencyP50 != 20 {
-		t.Fatalf("p50 = %d, want 20", s.LatencyP50)
+	if s.LatencyP50 != 31 {
+		t.Fatalf("p50 = %d, want 31 (bucket of sample 20)", s.LatencyP50)
 	}
-	if s.LatencyP99 != 300 {
-		t.Fatalf("p99 = %d, want 300", s.LatencyP99)
+	if s.LatencyP99 != 511 {
+		t.Fatalf("p99 = %d, want 511 (bucket of sample 300)", s.LatencyP99)
 	}
 	if s.Cycle != 720 {
 		t.Fatalf("cycle = %d, want 720", s.Cycle)
 	}
+	if len(s.LatencyHist) == 0 {
+		t.Fatal("snapshot carries no histogram")
+	}
+	// 10 -> bucket 4, 20 -> bucket 5, 300 -> bucket 9.
+	if s.LatencyHist[4] != 1 || s.LatencyHist[5] != 1 || s.LatencyHist[9] != 1 {
+		t.Fatalf("hist = %v", s.LatencyHist)
+	}
 }
 
-func TestCollectorRingBounds(t *testing.T) {
-	c := NewCollector(4)
+// TestCollectorJSONFieldsStable pins the snapshot's wire names: live
+// clients parse the stats line, so a rename is a breaking change.
+func TestCollectorJSONFieldsStable(t *testing.T) {
+	c := NewCollector(0)
 	p := NewProbe(c)
-	for i := 0; i < 100; i++ {
+	p.EpochComplete(10, 0, 1, "barrier", 1)
+	p.EpochPersist(22, 0, 1, "natural")
+	raw, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		`"cycle"`, `"txs"`, `"epochs_opened"`, `"epochs_persisted"`,
+		`"conflicts_intra"`, `"conflicts_inter"`, `"conflicts_eviction"`,
+		`"latency_samples"`, `"latency_p50"`, `"latency_p90"`, `"latency_p99"`,
+		`"latency_hist"`,
+	} {
+		if !strings.Contains(string(raw), field) {
+			t.Fatalf("snapshot JSON missing %s: %s", field, raw)
+		}
+	}
+}
+
+// TestCollectorNoSampleLoss replaces the old ring-wraparound test: the
+// histogram must keep every sample's weight long past the old ring
+// bound, with percentiles computed over all of them.
+func TestCollectorNoSampleLoss(t *testing.T) {
+	c := NewCollector(4) // old implementations dropped to the last 4 samples
+	p := NewProbe(c)
+	// 10000 samples of latency 5, then 100 of latency 4000. A 4-sample
+	// ring would see only the tail; the histogram keeps the full mix.
+	for i := 0; i < 10000; i++ {
 		p.EpochComplete(sim.Cycle(i*10), 0, uint64(i), "barrier", 1)
 		p.EpochPersist(sim.Cycle(i*10+5), 0, uint64(i), "natural")
 	}
-	s := c.Snapshot()
-	if s.LatencySamples != 4 {
-		t.Fatalf("ring grew past bound: %d", s.LatencySamples)
+	for i := 10000; i < 10100; i++ {
+		p.EpochComplete(sim.Cycle(i*10), 0, uint64(i), "barrier", 1)
+		p.EpochPersist(sim.Cycle(i*10+4000), 0, uint64(i), "natural")
 	}
-	if s.EpochsPersisted != 100 {
+	s := c.Snapshot()
+	if s.LatencySamples != 10100 {
+		t.Fatalf("samples = %d, want 10100 (histogram must not drop)", s.LatencySamples)
+	}
+	if s.LatencyP50 != 7 {
+		t.Fatalf("p50 = %d, want 7 (bucket of the dominant 5-cycle mass)", s.LatencyP50)
+	}
+	if s.LatencyP99 != 7 {
+		t.Fatalf("p99 = %d: the 1%% tail must not capture p99 of 10100 samples", s.LatencyP99)
+	}
+	if s.EpochsPersisted != 10100 {
 		t.Fatalf("persisted count: %d", s.EpochsPersisted)
 	}
 }
@@ -71,6 +120,9 @@ func TestCollectorPersistWithoutComplete(t *testing.T) {
 	s := c.Snapshot()
 	if s.EpochsPersisted != 1 || s.LatencySamples != 0 {
 		t.Fatalf("%+v", s)
+	}
+	if s.LatencyHist != nil {
+		t.Fatalf("empty collector carries hist: %v", s.LatencyHist)
 	}
 }
 
@@ -111,14 +163,100 @@ func TestPercentileNearestRank(t *testing.T) {
 	}
 }
 
-func TestAggregateServiceStats(t *testing.T) {
-	per := []ServiceStats{
-		{Cycle: 100, Txs: 5, EpochsOpened: 4, EpochsPersisted: 3, ConflictsIntra: 1,
-			LatencySamples: 10, LatencyP50: 20, LatencyP90: 40, LatencyP99: 90},
-		{Cycle: 250, Txs: 7, EpochsOpened: 6, EpochsPersisted: 5, ConflictsInter: 2,
-			LatencySamples: 4, LatencyP50: 30, LatencyP90: 35, LatencyP99: 80},
+// TestPercentileEdgeCases covers the degenerate shapes the nearest-rank
+// rule must handle: a single sample answers every percentile, a tiny n
+// still resolves p99 to the last sample, and all-equal samples answer
+// with that value at every rank.
+func TestPercentileEdgeCases(t *testing.T) {
+	one := []sim.Cycle{42}
+	for _, p := range []int{0, 1, 50, 99, 100} {
+		if got := percentile(one, p); got != 42 {
+			t.Fatalf("n=1 p%d = %d, want 42", p, got)
+		}
 	}
-	agg := AggregateServiceStats(per)
+	tiny := []sim.Cycle{3, 9}
+	if got := percentile(tiny, 99); got != 9 {
+		t.Fatalf("n=2 p99 = %d, want 9 (last sample)", got)
+	}
+	if got := percentile(tiny, 50); got != 3 {
+		t.Fatalf("n=2 p50 = %d, want 3", got)
+	}
+	equal := []sim.Cycle{7, 7, 7, 7, 7}
+	for _, p := range []int{1, 50, 90, 99} {
+		if got := percentile(equal, p); got != 7 {
+			t.Fatalf("all-equal p%d = %d, want 7", p, got)
+		}
+	}
+}
+
+func TestHistBasics(t *testing.T) {
+	var h Hist
+	if h.Total() != 0 || h.Percentile(50) != 0 || h.Trimmed() != nil {
+		t.Fatal("zero hist not empty")
+	}
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(20)
+	if h.Total() != 3 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[5] != 1 {
+		t.Fatalf("counts = %v", h.Counts[:8])
+	}
+	if got := h.Percentile(50); got != 1 {
+		t.Fatalf("p50 = %d, want 1", got)
+	}
+	if got := h.Percentile(99); got != 31 {
+		t.Fatalf("p99 = %d, want 31", got)
+	}
+	tr := h.Trimmed()
+	if len(tr) != 6 {
+		t.Fatalf("trimmed len = %d, want 6", len(tr))
+	}
+	back := HistFromCounts(tr)
+	if back != h {
+		t.Fatal("round-trip through Trimmed/HistFromCounts lost counts")
+	}
+	// Oversized input folds into the last bucket.
+	big := make([]uint64, HistBuckets+5)
+	big[HistBuckets+4] = 3
+	if got := HistFromCounts(big); got.Counts[HistBuckets-1] != 3 {
+		t.Fatal("overflow buckets must fold into the last bucket")
+	}
+}
+
+// TestAggregateServiceStats: pooled percentiles over the merged
+// histogram are exact — a shard with many fast samples pulls the pooled
+// p50 down to its bucket, which the old elementwise-max rule could not
+// represent.
+func TestAggregateServiceStats(t *testing.T) {
+	build := func(samples []uint64) ServiceStats {
+		var h Hist
+		for _, v := range samples {
+			h.Observe(v)
+		}
+		return ServiceStats{
+			LatencySamples: len(samples),
+			LatencyP50:     sim.Cycle(h.Percentile(50)),
+			LatencyP90:     sim.Cycle(h.Percentile(90)),
+			LatencyP99:     sim.Cycle(h.Percentile(99)),
+			LatencyHist:    h.Trimmed(),
+		}
+	}
+	fast := make([]uint64, 90)
+	for i := range fast {
+		fast[i] = 10 // bucket 4, upper 15
+	}
+	slow := make([]uint64, 10)
+	for i := range slow {
+		slow[i] = 1000 // bucket 10, upper 1023
+	}
+	a := build(fast)
+	a.Cycle, a.Txs, a.EpochsOpened, a.EpochsPersisted, a.ConflictsIntra = 100, 5, 4, 3, 1
+	b := build(slow)
+	b.Cycle, b.Txs, b.EpochsOpened, b.EpochsPersisted, b.ConflictsInter = 250, 7, 6, 5, 2
+
+	agg := AggregateServiceStats([]ServiceStats{a, b})
 	if agg.Cycle != 250 {
 		t.Fatalf("Cycle = %d, want max 250", agg.Cycle)
 	}
@@ -128,13 +266,42 @@ func TestAggregateServiceStats(t *testing.T) {
 	if agg.ConflictsIntra != 1 || agg.ConflictsInter != 2 {
 		t.Fatalf("conflicts not summed: %+v", agg)
 	}
-	if agg.LatencySamples != 14 {
-		t.Fatalf("LatencySamples = %d, want 14", agg.LatencySamples)
+	if agg.LatencySamples != 100 {
+		t.Fatalf("LatencySamples = %d, want 100", agg.LatencySamples)
 	}
-	if agg.LatencyP50 != 30 || agg.LatencyP90 != 40 || agg.LatencyP99 != 90 {
-		t.Fatalf("percentiles not elementwise max: %+v", agg)
+	// Exact pooled percentiles: 90% of samples are fast, so pooled p50
+	// and p90 sit in the fast bucket; only p99 reaches the slow one.
+	// Elementwise-max would have reported p50 = 1023.
+	if agg.LatencyP50 != 15 || agg.LatencyP90 != 15 {
+		t.Fatalf("pooled p50/p90 = %d/%d, want 15/15", agg.LatencyP50, agg.LatencyP90)
 	}
-	if got := AggregateServiceStats(nil); got != (ServiceStats{}) {
+	if agg.LatencyP99 != 1023 {
+		t.Fatalf("pooled p99 = %d, want 1023", agg.LatencyP99)
+	}
+	if len(agg.LatencyHist) == 0 {
+		t.Fatal("aggregate lost the merged histogram")
+	}
+}
+
+func TestAggregateServiceStatsDegenerate(t *testing.T) {
+	if got := AggregateServiceStats(nil); len(got.LatencyHist) != 0 || got.LatencySamples != 0 || got.Cycle != 0 {
 		t.Fatalf("empty aggregate = %+v, want zero", got)
+	}
+	if got := AggregateServiceStats([]ServiceStats{}); got.LatencyP50 != 0 {
+		t.Fatalf("zero-shard aggregate = %+v, want zero", got)
+	}
+	// All-empty shards: no samples anywhere.
+	got := AggregateServiceStats([]ServiceStats{{Cycle: 5}, {Cycle: 9}})
+	if got.Cycle != 9 || got.LatencySamples != 0 || got.LatencyP99 != 0 {
+		t.Fatalf("all-empty aggregate = %+v", got)
+	}
+	// A legacy snapshot with percentiles but no histogram falls back to
+	// the elementwise worst case.
+	legacy := AggregateServiceStats([]ServiceStats{
+		{LatencySamples: 4, LatencyP50: 30, LatencyP90: 35, LatencyP99: 80},
+		{LatencySamples: 10, LatencyP50: 20, LatencyP90: 40, LatencyP99: 90},
+	})
+	if legacy.LatencyP50 != 30 || legacy.LatencyP90 != 40 || legacy.LatencyP99 != 90 {
+		t.Fatalf("legacy fallback = %+v", legacy)
 	}
 }

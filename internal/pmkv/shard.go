@@ -16,6 +16,7 @@ import (
 
 	"persistbarriers/internal/sim"
 	"persistbarriers/internal/stats"
+	"persistbarriers/internal/telemetry"
 )
 
 // MaxShards bounds the shard count (arbitrary sanity limit).
@@ -115,6 +116,11 @@ type ShardAck struct {
 type shardJob struct {
 	req   Request
 	reply chan ShardAck
+	// span, when non-nil, is the caller-owned telemetry record the
+	// pipeline stamps as the job moves through mailbox, translate,
+	// retirement, and the durable watermark. A nil span costs one branch
+	// per stamp site.
+	span *telemetry.Span
 }
 
 // shard is one partition: an engine, its mailbox, and its worker state.
@@ -208,14 +214,24 @@ func (s *ShardedStore) NewSession() *ShardedSession {
 // acks it (for mutations: until the publish is durable, the shard
 // crashed, or the store refused the request).
 func (s *ShardedStore) Do(sess *ShardedSession, op Op, key string, value []byte) ShardAck {
+	return s.DoSpan(sess, op, key, value, nil)
+}
+
+// DoSpan is Do with a caller-owned telemetry span: the router stamps
+// shard-route and mailbox-enqueue, and the shard worker stamps dequeue,
+// translate, submit, and durable-watermark as the request moves through
+// its pipeline. span may be nil (then DoSpan is exactly Do).
+func (s *ShardedStore) DoSpan(sess *ShardedSession, op Op, key string, value []byte, span *telemetry.Span) ShardAck {
 	if sess == nil {
 		return ShardAck{Err: fmt.Errorf("pmkv: request without session")}
 	}
 	id := ShardOf(key, len(s.shards))
+	span.Stamp(telemetry.StageShardRoute)
 	sh := s.shards[id]
 	j := shardJob{
 		req:   Request{Sess: sess.per[id], Op: op, Key: key, Value: value},
 		reply: make(chan ShardAck, 1),
+		span:  span,
 	}
 	sh.subMu.RLock()
 	if !sh.open {
@@ -225,6 +241,7 @@ func (s *ShardedStore) Do(sess *ShardedSession, op Op, key string, value []byte)
 	sh.mail <- j
 	sh.enq.Add(1)
 	sh.subMu.RUnlock()
+	span.Stamp(telemetry.StageEnqueue)
 	return <-j.reply
 }
 
@@ -252,6 +269,7 @@ func (s *ShardedStore) runShard(sh *shard) {
 				if !ok {
 					open = false
 				} else {
+					j.span.Stamp(telemetry.StageDequeue)
 					batch = append(batch, j)
 					sh.deq.Add(1)
 				}
@@ -264,6 +282,7 @@ func (s *ShardedStore) runShard(sh *shard) {
 						open = false
 						break gather
 					}
+					j.span.Stamp(telemetry.StageDequeue)
 					batch = append(batch, j)
 					sh.deq.Add(1)
 				default:
@@ -291,10 +310,12 @@ func (s *ShardedStore) runShard(sh *shard) {
 				s.crash(sh, &pending, nil)
 				continue
 			}
+			cycle := int64(sh.eng.Now())
 			for len(pending) > 0 && pending[0].target <= durable {
 				p := pending[0]
 				pending = pending[1:]
 				for i, j := range p.jobs {
+					j.span.StampAt(telemetry.StageDurable, cycle)
 					j.reply <- ShardAck{Resp: p.resps[i], Shard: sh.id, Durable: durable}
 				}
 			}
@@ -305,6 +326,7 @@ func (s *ShardedStore) runShard(sh *shard) {
 				// snapshot, so durability still precedes the snapshot.
 				for _, p := range pending {
 					for i, j := range p.jobs {
+						j.span.StampAt(telemetry.StageDurable, cycle)
 						j.reply <- ShardAck{Resp: p.resps[i], Shard: sh.id, Durable: durable}
 					}
 				}
@@ -323,7 +345,15 @@ func (s *ShardedStore) commit(sh *shard, batch []shardJob, pending []pendingBatc
 	}
 	resps, err := sh.eng.Submit(reqs)
 	if err == nil {
+		cycle := int64(sh.eng.Now())
+		for _, j := range batch {
+			j.span.StampAt(telemetry.StageTranslate, cycle)
+		}
 		err = sh.eng.PumpRetire()
+		cycle = int64(sh.eng.Now())
+		for _, j := range batch {
+			j.span.StampAt(telemetry.StageSubmit, cycle)
+		}
 	}
 	switch {
 	case err == nil:
@@ -336,8 +366,10 @@ func (s *ShardedStore) commit(sh *shard, batch []shardJob, pending []pendingBatc
 		// Anything still gated from earlier batches is flagged too —
 		// recovery, not the watermark, now judges durability.
 		s.crash(sh, &pending, func() {
+			cycle := int64(sh.eng.Now())
 			if len(resps) == len(batch) {
 				for i, j := range batch {
+					j.span.StampAt(telemetry.StageDurable, cycle)
 					j.reply <- ShardAck{Resp: resps[i], Shard: sh.id, Crashed: true}
 				}
 			} else {
@@ -358,8 +390,10 @@ func (s *ShardedStore) commit(sh *shard, batch []shardJob, pending []pendingBatc
 // crash marks the shard crashed, flushes gated acks (flagged crashed),
 // delivers the crashing batch's acks via deliver, and fires OnCrash once.
 func (s *ShardedStore) crash(sh *shard, pending *[]pendingBatch, deliver func()) {
+	cycle := int64(sh.eng.Now())
 	for _, p := range *pending {
 		for i, j := range p.jobs {
+			j.span.StampAt(telemetry.StageDurable, cycle)
 			j.reply <- ShardAck{Resp: p.resps[i], Shard: sh.id, Crashed: true}
 		}
 	}
@@ -388,6 +422,7 @@ func (s *ShardedStore) Crashed() bool {
 type ShardMetrics struct {
 	Shard      int       `json:"shard"`
 	QueueDepth int       `json:"queue_depth"`
+	MailboxCap int       `json:"mailbox_cap"`
 	Batches    uint64    `json:"batches"`
 	AvgBatch   float64   `json:"avg_batch"`
 	Durable    int       `json:"durable_publishes"`
@@ -404,6 +439,7 @@ func (s *ShardedStore) Metrics() []ShardMetrics {
 		m := ShardMetrics{
 			Shard:      i,
 			QueueDepth: sh.queueDepth(),
+			MailboxCap: s.cfg.Mailbox,
 			Batches:    sh.batches.Load(),
 			Durable:    d,
 			Total:      total,

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"persistbarriers/internal/sim"
+	"persistbarriers/internal/telemetry"
 )
 
 // TestShardOfGolden pins the router's key->shard mapping: it must be a
@@ -477,5 +478,65 @@ func TestNewShardedRejectsBadConfig(t *testing.T) {
 	cfg.Engine.Machine.BulkEpochStores = 64
 	if _, err := NewSharded(cfg); err == nil {
 		t.Fatal("unsafe per-shard machine accepted")
+	}
+}
+
+// TestDoSpanStampsPipeline: a span threaded through DoSpan must come
+// back stamped at every pipeline stage the store owns, with wall times
+// nondecreasing along the conn-side order and sim cycles attached to the
+// worker-side stamps. This is the contract the server's stage tracer
+// (and the flight recorder) builds on.
+func TestDoSpanStampsPipeline(t *testing.T) {
+	store, err := NewSharded(ShardedConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := store.NewSession()
+
+	var span telemetry.Span
+	span.Reset()
+	span.Stamp(telemetry.StageConnRead)
+	ack := store.DoSpan(sess, Put, "span-key", []byte("span-val"), &span)
+	if ack.Err != nil || ack.Crashed {
+		t.Fatalf("put ack: %+v", ack)
+	}
+
+	for st := telemetry.StageConnRead; st <= telemetry.StageDurable; st++ {
+		if !span.Stamped(st) {
+			t.Fatalf("stage %s not stamped: %+v", st, span)
+		}
+	}
+	if span.Stamped(telemetry.StageAckWritten) {
+		t.Fatalf("ack-written is the server's stamp, store must not set it")
+	}
+	// Conn-side wall clocks are sequenced within one goroutine each, so
+	// order holds pairwise where a happens-before edge exists.
+	for _, pair := range [][2]telemetry.Stage{
+		{telemetry.StageConnRead, telemetry.StageShardRoute},
+		{telemetry.StageShardRoute, telemetry.StageEnqueue},
+		{telemetry.StageDequeue, telemetry.StageTranslate},
+		{telemetry.StageTranslate, telemetry.StageSubmit},
+		{telemetry.StageSubmit, telemetry.StageDurable},
+	} {
+		if span.Wall[pair[0]] > span.Wall[pair[1]] {
+			t.Fatalf("wall[%s]=%d > wall[%s]=%d", pair[0], span.Wall[pair[0]], pair[1], span.Wall[pair[1]])
+		}
+	}
+	// Worker-side stamps carry the shard's sim clock.
+	for _, st := range []telemetry.Stage{telemetry.StageTranslate, telemetry.StageSubmit, telemetry.StageDurable} {
+		if span.Cycle[st] < 0 {
+			t.Fatalf("stage %s missing sim cycle", st)
+		}
+	}
+	if span.Cycle[telemetry.StageDurable] < span.Cycle[telemetry.StageSubmit] {
+		t.Fatalf("durable cycle %d before submit cycle %d", span.Cycle[telemetry.StageDurable], span.Cycle[telemetry.StageSubmit])
+	}
+
+	// A nil span must remain a no-op alias for Do.
+	if ack := store.Do(sess, Get, "span-key", nil); ack.Err != nil || string(ack.Resp.Value) != "span-val" {
+		t.Fatalf("nil-span get: %+v", ack)
+	}
+	if _, err := store.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

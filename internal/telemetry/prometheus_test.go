@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden metrics file")
+
+// deterministicTracer builds a 2-shard tracer with fixed observations so
+// the exposition is byte-stable.
+func deterministicTracer() *Tracer {
+	tr := New(Config{Shards: 2, Ring: 8})
+	gapsA := [NumSegments]int64{500, 1000, 250000, 4000, 90000, 1500000, 12000}
+	gapsB := [NumSegments]int64{700, 900, 180000, 5000, 110000, 2100000, 9000}
+	for i := 0; i < 3; i++ {
+		tr.Complete(0, stampedSpan(int64(10000*i+1), gapsA), Meta{Op: "put", Sess: i, Key: "k0", Durable: i, OK: true})
+	}
+	tr.Complete(1, stampedSpan(777, gapsB), Meta{Op: "get", Sess: 9, Key: "k1", OK: true})
+	return tr
+}
+
+// TestMetricsGolden pins the Prometheus text format byte-for-byte: the
+// smoke test scrapes this exposition live, so format drift must be loud.
+func TestMetricsGolden(t *testing.T) {
+	tr := deterministicTracer()
+	var buf bytes.Buffer
+	if err := tr.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden file %s (run with -update to regenerate)\ngot:\n%s", golden, buf.String())
+	}
+}
+
+func TestMetricsValidate(t *testing.T) {
+	tr := deterministicTracer()
+	var buf bytes.Buffer
+	if err := tr.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("own exposition does not validate: %v", err)
+	}
+	// Spot-check shape: headers, a bucket line, +Inf, count.
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE pmkv_stage_duration_seconds histogram",
+		`pmkv_stage_duration_seconds_bucket{shard="0",stage="route",le="+Inf"} 3`,
+		`pmkv_stage_duration_seconds_count{shard="0",stage="route"} 3`,
+		`pmkv_stage_ops_total{shard="1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"garbage value", "pmkv_x{a=\"1\"} notanumber\n"},
+		{"bad name", "9bad_name 1\n"},
+		{"unbalanced braces", "pmkv_x{a=\"1\" 2\n"},
+		{"decreasing cumulative", "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n"},
+		{"inf/count mismatch", "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n"},
+		{"nonincreasing le", "# TYPE h histogram\n" +
+			"h_bucket{le=\"2\"} 1\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n"},
+	}
+	for _, c := range cases {
+		if err := ValidateExposition([]byte(c.data)); err == nil {
+			t.Fatalf("%s: validated, want error", c.name)
+		}
+	}
+	// And a well-formed non-histogram sample plus comments pass.
+	ok := "# HELP g a gauge\n# TYPE g gauge\ng{shard=\"0\"} 1.5\nplain_counter 7\n\n"
+	if err := ValidateExposition([]byte(ok)); err != nil {
+		t.Fatalf("well-formed exposition rejected: %v", err)
+	}
+}
+
+func TestAppendCycleHistogram(t *testing.T) {
+	counts := make([]uint64, 12)
+	counts[4] = 10 // values ~8..15 cycles
+	counts[11] = 2 // values ~1024..2047 cycles
+	out := AppendCycleHistogram(nil, "pmkv_persist_latency_cycles", `shard="0"`, counts)
+	if err := ValidateExposition(append([]byte("# TYPE pmkv_persist_latency_cycles histogram\n"), out...)); err != nil {
+		t.Fatalf("cycle histogram invalid: %v", err)
+	}
+	s := string(out)
+	for _, want := range []string{
+		`pmkv_persist_latency_cycles_bucket{shard="0",le="15"} 10`,
+		`pmkv_persist_latency_cycles_bucket{shard="0",le="+Inf"} 12`,
+		`pmkv_persist_latency_cycles_count{shard="0"} 12`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// The flight recorder: a bounded, lock-free ring of the most recent
+// completed-operation records per shard. Writers claim slots with an
+// atomic ticket, so recording costs one atomic add plus a struct copy;
+// the ring simply overwrites the oldest entries. Snapshot is meant for
+// post-mortem use — the server dumps it after its workers and connection
+// handlers have stopped — and defensively drops slots whose ticket
+// doesn't match their position (a writer raced the wraparound).
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync/atomic"
+)
+
+// Record is one completed operation in the flight recorder.
+type Record struct {
+	// Ticket is the record's global sequence number within its shard's
+	// recorder (monotonic across wraparound).
+	Ticket  uint64 `json:"ticket"`
+	Shard   int    `json:"shard"`
+	Sess    int    `json:"sess"`
+	Op      string `json:"op"`
+	Key     string `json:"key"`
+	Durable int    `json:"durable"`
+	Crashed bool   `json:"crashed,omitempty"`
+	OK      bool   `json:"ok"`
+	Span    Span   `json:"span"`
+}
+
+// Recorder is the per-shard ring. The zero value is unusable; init sizes
+// it.
+type Recorder struct {
+	mask uint64
+	pos  atomic.Uint64
+	buf  []Record
+}
+
+// init sizes the ring to the next power of two >= n.
+func (r *Recorder) init(n int) {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	r.buf = make([]Record, size)
+	r.mask = uint64(size - 1)
+}
+
+// put claims the next ticket and stores rec in its slot.
+func (r *Recorder) put(rec Record) {
+	t := r.pos.Add(1) - 1
+	rec.Ticket = t
+	r.buf[t&r.mask] = rec
+}
+
+// Len reports how many records have ever been put (not the retained
+// count, which is min(Len, capacity)).
+func (r *Recorder) Len() uint64 { return r.pos.Load() }
+
+// Snapshot returns the retained records in ticket order, oldest first.
+// Slots whose stored ticket doesn't match their expected position —
+// a writer racing the snapshot across a wraparound — are skipped.
+func (r *Recorder) Snapshot() []Record {
+	n := r.pos.Load()
+	size := uint64(len(r.buf))
+	start := uint64(0)
+	if n > size {
+		start = n - size
+	}
+	out := make([]Record, 0, n-start)
+	for t := start; t < n; t++ {
+		rec := r.buf[t&r.mask]
+		if rec.Ticket != t {
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// FlightShard is one shard's section of a flight-recorder dump.
+type FlightShard struct {
+	Shard int `json:"shard"`
+	// Recorded counts records ever put; Retained is how many the ring
+	// still held at dump time.
+	Recorded uint64   `json:"recorded"`
+	Retained int      `json:"retained"`
+	Events   []Record `json:"events"`
+}
+
+// FlightDump is the post-mortem artifact the server writes next to its
+// recovery report whenever a crash or drain fires.
+type FlightDump struct {
+	SchemaVersion int           `json:"schema_version"`
+	Stages        []string      `json:"stages"`
+	Shards        []FlightShard `json:"shards"`
+}
+
+// FlightSchemaVersion is the dump format version.
+const FlightSchemaVersion = 1
+
+// Dump snapshots every shard's flight recorder.
+func (t *Tracer) Dump() *FlightDump {
+	if t == nil {
+		return nil
+	}
+	d := &FlightDump{SchemaVersion: FlightSchemaVersion}
+	for st := Stage(0); st < NumStages; st++ {
+		d.Stages = append(d.Stages, st.String())
+	}
+	for i := range t.shards {
+		rec := &t.shards[i].rec
+		events := rec.Snapshot()
+		d.Shards = append(d.Shards, FlightShard{
+			Shard:    i,
+			Recorded: rec.Len(),
+			Retained: len(events),
+			Events:   events,
+		})
+	}
+	return d
+}
+
+// WriteDump encodes the dump as indented JSON.
+func (t *Tracer) WriteDump(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t.Dump())
+}

@@ -1,0 +1,409 @@
+// Package telemetry is the live pipeline tracer for the pmkv serving
+// path. Each request carries a preallocated Span stamped (wall-clock ns
+// plus, where the shard worker knows it, sim cycle) at fixed pipeline
+// stages — conn-read, shard-route, mailbox-enqueue, dequeue, translate,
+// submit, durable-watermark, ack-written — and the completed span is
+// folded into per-shard power-of-two duration histograms, one per stage
+// segment, so a scrape can answer the question the paper asks of the
+// hardware: where does persist latency hide?
+//
+// The hot path is allocation-free and lock-free: stamping writes into a
+// caller-owned Span, folding is a handful of atomic adds, and the flight
+// recorder claims ring slots with an atomic ticket. A nil *Tracer and a
+// nil *Span are both valid and inert, so the uninstrumented serving path
+// costs exactly one nil check per stamp site — the same discipline as
+// internal/obs's Probe.
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Stage enumerates the stamp points of one operation's path through the
+// server, in pipeline order.
+type Stage uint8
+
+const (
+	// StageConnRead: the request line has been read off the socket.
+	StageConnRead Stage = iota
+	// StageShardRoute: the request is parsed and hashed to its shard.
+	StageShardRoute
+	// StageEnqueue: the request landed in the shard's mailbox (the send
+	// blocks under backpressure, so route->enqueue is queue admission).
+	StageEnqueue
+	// StageDequeue: the shard worker pulled the request off the mailbox.
+	StageDequeue
+	// StageTranslate: the group commit holding this request finished
+	// translating and feeding its ops to the simulated cores.
+	StageTranslate
+	// StageSubmit: the batch's ops all retired (visibility settled; the
+	// epochs holding its publishes keep persisting in the background).
+	StageSubmit
+	// StageDurable: the shard's durable-prefix watermark covered the
+	// request and its ack was released.
+	StageDurable
+	// StageAckWritten: the response was encoded and flushed to the socket.
+	StageAckWritten
+
+	// NumStages is the stamp-point count; segments between consecutive
+	// stamps number NumStages-1.
+	NumStages
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case StageConnRead:
+		return "conn-read"
+	case StageShardRoute:
+		return "shard-route"
+	case StageEnqueue:
+		return "mailbox-enqueue"
+	case StageDequeue:
+		return "dequeue"
+	case StageTranslate:
+		return "translate"
+	case StageSubmit:
+		return "submit"
+	case StageDurable:
+		return "durable-watermark"
+	case StageAckWritten:
+		return "ack-written"
+	default:
+		return "stage(?)"
+	}
+}
+
+// NumSegments is the number of consecutive-stage duration histograms.
+const NumSegments = int(NumStages) - 1
+
+// segmentNames label the durations between consecutive stamps; segment i
+// covers Stage(i) -> Stage(i+1). The names answer "which part of the
+// pipeline": parse+route, mailbox admission, queue wait, batch gather +
+// translate+feed, machine pump to retirement, barrier-drain to the
+// durable watermark, and the reply hop + response write syscall.
+var segmentNames = [NumSegments]string{
+	"route",        // conn-read        -> shard-route
+	"enqueue",      // shard-route      -> mailbox-enqueue
+	"queue_wait",   // mailbox-enqueue  -> dequeue
+	"translate",    // dequeue          -> translate (incl. batch gather)
+	"retire",       // translate        -> submit (pump to retirement)
+	"durable_wait", // submit           -> durable watermark
+	"ack_write",    // durable          -> ack-written
+}
+
+// SegmentName reports segment i's label ("" out of range).
+func SegmentName(i int) string {
+	if i < 0 || i >= NumSegments {
+		return ""
+	}
+	return segmentNames[i]
+}
+
+// Span is one operation's preallocated stage record. Wall holds unix
+// nanoseconds per stamped stage (0 = never stamped); Cycle holds the
+// owning shard's simulated clock where the stamping site knows it
+// (-1 = unknown). A nil *Span is valid: every method no-ops.
+type Span struct {
+	Wall  [NumStages]int64 `json:"wall"`
+	Cycle [NumStages]int64 `json:"cycle"`
+}
+
+// Reset clears the span for reuse.
+func (s *Span) Reset() {
+	if s == nil {
+		return
+	}
+	for i := range s.Wall {
+		s.Wall[i] = 0
+		s.Cycle[i] = -1
+	}
+}
+
+// Stamp records the wall clock at stage st.
+func (s *Span) Stamp(st Stage) {
+	if s == nil {
+		return
+	}
+	s.Wall[st] = time.Now().UnixNano()
+}
+
+// StampAt records the wall clock and the shard's sim cycle at stage st.
+func (s *Span) StampAt(st Stage, cycle int64) {
+	if s == nil {
+		return
+	}
+	s.Wall[st] = time.Now().UnixNano()
+	s.Cycle[st] = cycle
+}
+
+// Stamped reports whether stage st was stamped.
+func (s *Span) Stamped(st Stage) bool { return s != nil && s.Wall[st] != 0 }
+
+// HistBuckets is the power-of-two histogram size: bucket b counts values
+// v with bits.Len64(v) == b, i.e. bucket 0 holds exactly 0 and bucket
+// b>0 holds [2^(b-1), 2^b-1]. 48 buckets cover ~78 hours in nanoseconds.
+const HistBuckets = 48
+
+// histBucket maps a value to its bucket.
+func histBucket(v uint64) int {
+	b := bits.Len64(v)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper reports bucket b's inclusive upper bound (2^b - 1; 0 for
+// bucket 0). The last bucket is unbounded but reports its nominal bound.
+func BucketUpper(b int) uint64 {
+	if b <= 0 {
+		return 0
+	}
+	return 1<<uint(b) - 1
+}
+
+// AtomicHist is a lock-free power-of-two histogram: Observe is two
+// atomic adds, safe from any number of goroutines.
+type AtomicHist struct {
+	counts [HistBuckets]atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// Observe folds one value in.
+func (h *AtomicHist) Observe(v uint64) {
+	h.counts[histBucket(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot copies the histogram's current state.
+func (h *AtomicHist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+		s.Total += s.Counts[i]
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of an AtomicHist, mergeable and
+// queryable without synchronization.
+type HistSnapshot struct {
+	Counts [HistBuckets]uint64
+	Total  uint64
+	Sum    uint64
+}
+
+// Merge adds o into h (exact: bucket counts and sums just add).
+func (h *HistSnapshot) Merge(o HistSnapshot) {
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	h.Total += o.Total
+	h.Sum += o.Sum
+}
+
+// Percentile reports the inclusive upper bound of the bucket holding the
+// nearest-rank p-th percentile sample (0 when empty).
+func (h *HistSnapshot) Percentile(p float64) uint64 {
+	if h.Total == 0 {
+		return 0
+	}
+	rank := uint64(float64(h.Total) * p / 100)
+	if rank >= h.Total {
+		rank = h.Total - 1
+	}
+	var seen uint64
+	for b := 0; b < HistBuckets; b++ {
+		seen += h.Counts[b]
+		if seen > rank {
+			return BucketUpper(b)
+		}
+	}
+	return BucketUpper(HistBuckets - 1)
+}
+
+// Mean reports the exact mean of observed values (0 when empty).
+func (h *HistSnapshot) Mean() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Total)
+}
+
+// Meta carries the per-op identity folded into the flight recorder at
+// completion time.
+type Meta struct {
+	// Op is the operation kind as the server names it (e.g. "put").
+	Op string
+	// Sess is the client session id.
+	Sess int
+	// Key is the operation's key (string header copy; no allocation).
+	Key string
+	// Durable is the shard's durable-prefix watermark at ack time.
+	Durable int
+	// Crashed marks an ack delivered as the shard lost power.
+	Crashed bool
+	// OK marks a successfully served op (false: refused or errored).
+	OK bool
+}
+
+// shardTel is one shard's telemetry state.
+type shardTel struct {
+	segs [NumSegments]AtomicHist
+	rec  Recorder
+	ops  atomic.Uint64
+}
+
+// Config sizes a Tracer.
+type Config struct {
+	// Shards is the number of independent pipeline instances (>= 1).
+	Shards int
+	// Ring is the per-shard flight-recorder capacity, rounded up to a
+	// power of two (<= 0 selects DefaultRing).
+	Ring int
+}
+
+// DefaultRing is the default flight-recorder capacity per shard.
+const DefaultRing = 1024
+
+// Tracer owns per-shard stage histograms and flight recorders. A nil
+// *Tracer is valid and inert — servers built without telemetry pass nil
+// everywhere and pay one branch per call site.
+type Tracer struct {
+	shards []shardTel
+}
+
+// New builds a tracer for the given shard count.
+func New(cfg Config) *Tracer {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	ring := cfg.Ring
+	if ring <= 0 {
+		ring = DefaultRing
+	}
+	t := &Tracer{shards: make([]shardTel, cfg.Shards)}
+	for i := range t.shards {
+		t.shards[i].rec.init(ring)
+	}
+	return t
+}
+
+// Enabled reports whether the tracer is live.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Shards reports the shard count (0 when nil).
+func (t *Tracer) Shards() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.shards)
+}
+
+// Complete folds a finished span into shard's segment histograms and
+// appends one record to its flight recorder. Segments whose endpoints
+// were not both stamped are skipped. Safe from any goroutine;
+// allocation-free.
+func (t *Tracer) Complete(shard int, sp *Span, m Meta) {
+	if t == nil || sp == nil || shard < 0 || shard >= len(t.shards) {
+		return
+	}
+	st := &t.shards[shard]
+	for i := 0; i < NumSegments; i++ {
+		a, b := sp.Wall[i], sp.Wall[i+1]
+		if a == 0 || b == 0 {
+			continue
+		}
+		d := b - a
+		if d < 0 {
+			d = 0
+		}
+		st.segs[i].Observe(uint64(d))
+	}
+	st.ops.Add(1)
+	st.rec.put(Record{
+		Shard:   shard,
+		Sess:    m.Sess,
+		Op:      m.Op,
+		Key:     m.Key,
+		Durable: m.Durable,
+		Crashed: m.Crashed,
+		OK:      m.OK,
+		Span:    *sp,
+	})
+}
+
+// Ops reports how many completed operations shard has folded.
+func (t *Tracer) Ops(shard int) uint64 {
+	if t == nil || shard < 0 || shard >= len(t.shards) {
+		return 0
+	}
+	return t.shards[shard].ops.Load()
+}
+
+// SegmentHist snapshots one shard's segment histogram.
+func (t *Tracer) SegmentHist(shard, seg int) HistSnapshot {
+	if t == nil || shard < 0 || shard >= len(t.shards) || seg < 0 || seg >= NumSegments {
+		return HistSnapshot{}
+	}
+	return t.shards[shard].segs[seg].Snapshot()
+}
+
+// StageStats summarizes one segment's duration distribution in
+// microseconds (the exposition unit of the human-facing summaries; the
+// Prometheus endpoint reports seconds).
+type StageStats struct {
+	Stage  string  `json:"stage"`
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P90US  float64 `json:"p90_us"`
+	P99US  float64 `json:"p99_us"`
+}
+
+func summarize(hists [NumSegments]HistSnapshot) []StageStats {
+	out := make([]StageStats, 0, NumSegments)
+	for i := 0; i < NumSegments; i++ {
+		h := hists[i]
+		out = append(out, StageStats{
+			Stage:  segmentNames[i],
+			Count:  h.Total,
+			MeanUS: h.Mean() / 1e3,
+			P50US:  float64(h.Percentile(50)) / 1e3,
+			P90US:  float64(h.Percentile(90)) / 1e3,
+			P99US:  float64(h.Percentile(99)) / 1e3,
+		})
+	}
+	return out
+}
+
+// ShardStageSummary summarizes one shard's segments.
+func (t *Tracer) ShardStageSummary(shard int) []StageStats {
+	if t == nil || shard < 0 || shard >= len(t.shards) {
+		return nil
+	}
+	var hists [NumSegments]HistSnapshot
+	for i := 0; i < NumSegments; i++ {
+		hists[i] = t.shards[shard].segs[i].Snapshot()
+	}
+	return summarize(hists)
+}
+
+// StageSummary merges every shard's segment histograms (exact: pow-2
+// bucket counts add) and summarizes the pooled distributions.
+func (t *Tracer) StageSummary() []StageStats {
+	if t == nil {
+		return nil
+	}
+	var hists [NumSegments]HistSnapshot
+	for s := range t.shards {
+		for i := 0; i < NumSegments; i++ {
+			hists[i].Merge(t.shards[s].segs[i].Snapshot())
+		}
+	}
+	return summarize(hists)
+}

@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// span with deterministic stamps: stage i at base + sum of the first i
+// gaps (ns).
+func stampedSpan(base int64, gaps [NumSegments]int64) *Span {
+	sp := &Span{}
+	sp.Reset()
+	t := base
+	sp.Wall[0] = t
+	for i := 0; i < NumSegments; i++ {
+		t += gaps[i]
+		sp.Wall[i+1] = t
+	}
+	return sp
+}
+
+func TestSpanNilSafe(t *testing.T) {
+	var sp *Span
+	sp.Reset()
+	sp.Stamp(StageConnRead)
+	sp.StampAt(StageDurable, 42)
+	if sp.Stamped(StageConnRead) {
+		t.Fatal("nil span claims a stamp")
+	}
+	var tr *Tracer
+	tr.Complete(0, &Span{}, Meta{})
+	if tr.Enabled() || tr.Shards() != 0 || tr.StageSummary() != nil {
+		t.Fatal("nil tracer not inert")
+	}
+	if tr.Dump() != nil {
+		t.Fatal("nil tracer dump not nil")
+	}
+}
+
+func TestCompleteFoldsSegments(t *testing.T) {
+	tr := New(Config{Shards: 2, Ring: 8})
+	gaps := [NumSegments]int64{100, 200, 400, 800, 1600, 3200, 6400}
+	tr.Complete(1, stampedSpan(1000, gaps), Meta{Op: "put", Sess: 3, Key: "k1", Durable: 7, OK: true})
+
+	for seg := 0; seg < NumSegments; seg++ {
+		h := tr.SegmentHist(1, seg)
+		if h.Total != 1 {
+			t.Fatalf("seg %d total = %d", seg, h.Total)
+		}
+		if h.Sum != uint64(gaps[seg]) {
+			t.Fatalf("seg %d sum = %d, want %d", seg, h.Sum, gaps[seg])
+		}
+		if got := h.Counts[histBucket(uint64(gaps[seg]))]; got != 1 {
+			t.Fatalf("seg %d bucket count = %d", seg, got)
+		}
+	}
+	// Shard 0 untouched.
+	if h := tr.SegmentHist(0, 0); h.Total != 0 {
+		t.Fatalf("shard 0 polluted: %+v", h)
+	}
+	if tr.Ops(1) != 1 || tr.Ops(0) != 0 {
+		t.Fatalf("ops = %d/%d", tr.Ops(0), tr.Ops(1))
+	}
+}
+
+func TestCompleteSkipsUnstampedSegments(t *testing.T) {
+	tr := New(Config{Shards: 1, Ring: 8})
+	sp := &Span{}
+	sp.Reset()
+	sp.Wall[StageConnRead] = 100
+	sp.Wall[StageShardRoute] = 150
+	// Enqueue never stamped: segments enqueue(1) and queue_wait(2) skipped.
+	sp.Wall[StageDequeue] = 500
+	sp.Wall[StageTranslate] = 700
+	tr.Complete(0, sp, Meta{})
+	if h := tr.SegmentHist(0, 0); h.Total != 1 || h.Sum != 50 {
+		t.Fatalf("route: %+v", h)
+	}
+	if h := tr.SegmentHist(0, 1); h.Total != 0 {
+		t.Fatalf("enqueue should be empty: %+v", h)
+	}
+	if h := tr.SegmentHist(0, 2); h.Total != 0 {
+		t.Fatalf("queue_wait should be empty: %+v", h)
+	}
+	if h := tr.SegmentHist(0, 3); h.Total != 1 || h.Sum != 200 {
+		t.Fatalf("translate: %+v", h)
+	}
+}
+
+// TestStampFoldZeroAlloc is the hot-path guard the tentpole demands:
+// stamping all eight stages and folding the span (histograms + flight
+// recorder) must not allocate.
+func TestStampFoldZeroAlloc(t *testing.T) {
+	tr := New(Config{Shards: 1, Ring: 64})
+	sp := &Span{}
+	key := "k000123"
+	n := testing.AllocsPerRun(1000, func() {
+		sp.Reset()
+		for st := Stage(0); st < NumStages; st++ {
+			sp.Stamp(st)
+		}
+		sp.StampAt(StageDurable, 12345)
+		tr.Complete(0, sp, Meta{Op: "put", Sess: 2, Key: key, Durable: 9, OK: true})
+	})
+	if n != 0 {
+		t.Fatalf("stamp+fold allocates %v times per op, want 0", n)
+	}
+}
+
+// TestDisabledPathZeroAlloc: the nil-tracer/nil-span path must cost no
+// allocations either (it is the default-server configuration).
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	var sp *Span
+	n := testing.AllocsPerRun(1000, func() {
+		sp.Reset()
+		for st := Stage(0); st < NumStages; st++ {
+			sp.Stamp(st)
+		}
+		tr.Complete(0, sp, Meta{Op: "put"})
+	})
+	if n != 0 {
+		t.Fatalf("disabled path allocates %v times per op, want 0", n)
+	}
+}
+
+func TestHistBucketBounds(t *testing.T) {
+	cases := []struct {
+		v uint64
+		b int
+	}{{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11}, {math.MaxUint64, HistBuckets - 1}}
+	for _, c := range cases {
+		if got := histBucket(c.v); got != c.b {
+			t.Fatalf("histBucket(%d) = %d, want %d", c.v, got, c.b)
+		}
+	}
+	if BucketUpper(0) != 0 || BucketUpper(1) != 1 || BucketUpper(5) != 31 {
+		t.Fatal("BucketUpper wrong")
+	}
+}
+
+func TestHistSnapshotPercentileAndMerge(t *testing.T) {
+	var a, b AtomicHist
+	for i := 0; i < 90; i++ {
+		a.Observe(10) // bucket 4, upper 15
+	}
+	for i := 0; i < 10; i++ {
+		b.Observe(1000) // bucket 10, upper 1023
+	}
+	m := a.Snapshot()
+	m.Merge(b.Snapshot())
+	if m.Total != 100 {
+		t.Fatalf("total = %d", m.Total)
+	}
+	if got := m.Percentile(50); got != 15 {
+		t.Fatalf("p50 = %d, want 15", got)
+	}
+	if got := m.Percentile(99); got != 1023 {
+		t.Fatalf("p99 = %d, want 1023", got)
+	}
+	wantMean := (90*10.0 + 10*1000.0) / 100
+	if m.Mean() != wantMean {
+		t.Fatalf("mean = %g, want %g", m.Mean(), wantMean)
+	}
+	var empty HistSnapshot
+	if empty.Percentile(50) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty hist not zero")
+	}
+}
+
+func TestStageSummaryMergesShards(t *testing.T) {
+	tr := New(Config{Shards: 2, Ring: 8})
+	fast := [NumSegments]int64{1000, 1000, 1000, 1000, 1000, 1000, 1000}
+	slow := [NumSegments]int64{900000, 900000, 900000, 900000, 900000, 900000, 900000}
+	for i := 0; i < 9; i++ {
+		tr.Complete(0, stampedSpan(int64(1000*i+1), fast), Meta{})
+	}
+	tr.Complete(1, stampedSpan(5000, slow), Meta{})
+
+	sum := tr.StageSummary()
+	if len(sum) != NumSegments {
+		t.Fatalf("summary len = %d", len(sum))
+	}
+	for _, s := range sum {
+		if s.Count != 10 {
+			t.Fatalf("%s count = %d", s.Stage, s.Count)
+		}
+		// p50 pools both shards: the fast samples dominate.
+		if s.P50US > 2 {
+			t.Fatalf("%s p50 = %g us, want ~1", s.Stage, s.P50US)
+		}
+		// p99 lands in the slow shard's bucket (900000ns ~ bucket 20, upper
+		// 1048575ns ~ 1048.575us).
+		if s.P99US < 500 {
+			t.Fatalf("%s p99 = %g us, want the slow sample", s.Stage, s.P99US)
+		}
+	}
+	per := tr.ShardStageSummary(0)
+	if per[0].Count != 9 {
+		t.Fatalf("shard 0 count = %d", per[0].Count)
+	}
+	if names := []string{per[0].Stage, per[6].Stage}; names[0] != "route" || names[1] != "ack_write" {
+		t.Fatalf("segment names wrong: %v", names)
+	}
+}
+
+func TestSegmentNameVocabulary(t *testing.T) {
+	want := []string{"route", "enqueue", "queue_wait", "translate", "retire", "durable_wait", "ack_write"}
+	for i, w := range want {
+		if got := SegmentName(i); got != w {
+			t.Fatalf("SegmentName(%d) = %q, want %q", i, got, w)
+		}
+	}
+	if SegmentName(-1) != "" || SegmentName(NumSegments) != "" {
+		t.Fatal("out-of-range segment name not empty")
+	}
+}

@@ -1,24 +1,57 @@
 #!/usr/bin/env bash
 # scale_smoke.sh — live shard-scaling smoke test: a 4-shard pmkvd with a
-# crash instant armed serves a 5-second pmkvload run. The crashing shard
-# fires mid-load, the server self-initiates the drain, and every shard's
-# recovery invariants must verify. The load is rate-limited so recovery
-# verification (superlinear in retired publishes) stays fast in CI.
+# crash instant armed serves a 5-second pmkvload run, with the admin
+# endpoint and flight recorder on. Mid-run the smoke scrapes /metrics and
+# validates the exposition with promcheck; then the crashing shard fires,
+# the server self-initiates the drain, every shard's recovery invariants
+# must verify, and the flight-recorder dump must be written and
+# consistent with the recovery report (no ack beyond the durable prefix).
+# The dump is copied to $FLIGHT_ARTIFACT (default flight-recorder.json in
+# the repo root) so CI can upload it as a post-mortem artifact. The load
+# is rate-limited so recovery verification (superlinear in retired
+# publishes) stays fast in CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 addr=${SMOKE_ADDR:-127.0.0.1:7199}
+admin=${SMOKE_ADMIN:-127.0.0.1:7299}
+artifact=${FLIGHT_ARTIFACT:-flight-recorder.json}
 dir=$(mktemp -d)
 trap 'kill -9 "$pid" 2>/dev/null || true; rm -rf "$dir"' EXIT
 
 go build -o "$dir/pmkvd" ./cmd/pmkvd
 go build -o "$dir/pmkvload" ./cmd/pmkvload
+go build -o "$dir/promcheck" ./cmd/promcheck
 
-"$dir/pmkvd" -addr "$addr" -shards 4 -crash-at 100000 >"$dir/pmkvd.log" 2>&1 &
+"$dir/pmkvd" -addr "$addr" -shards 4 -crash-at 100000 \
+    -admin "$admin" -flight-dump "$dir/flight.json" >"$dir/pmkvd.log" 2>&1 &
 pid=$!
 sleep 1
 
-"$dir/pmkvload" -addr "$addr" -conns 8 -rate 400 -duration 5s
+"$dir/pmkvload" -addr "$addr" -conns 8 -rate 400 -duration 5s -admin "$admin" &
+loadpid=$!
+
+# Mid-run: scrape the live exposition and assert it parses.
+sleep 2
+curl -fsS "http://$admin/metrics" >"$dir/metrics.txt" || {
+    echo "scale_smoke: /metrics scrape failed" >&2
+    exit 1
+}
+"$dir/promcheck" "$dir/metrics.txt"
+grep -q '^pmkv_stage_duration_seconds_bucket' "$dir/metrics.txt" || {
+    echo "scale_smoke: exposition has no stage histograms" >&2
+    exit 1
+}
+curl -fsS "http://$admin/statz" >"$dir/statz.json" || {
+    echo "scale_smoke: /statz scrape failed" >&2
+    exit 1
+}
+grep -q '"stages"' "$dir/statz.json" || {
+    echo "scale_smoke: /statz has no stage breakdown" >&2
+    exit 1
+}
+
+wait "$loadpid"
 
 # The crash fires mid-load and the server drains itself; wait for exit.
 for _ in $(seq 1 120); do
@@ -40,4 +73,14 @@ grep -q "recovery invariants: OK" "$dir/pmkvd.log" || {
     echo "scale_smoke: recovery verification did not pass" >&2
     exit 1
 }
+grep -q "flight recorder: .* consistency OK" "$dir/pmkvd.log" || {
+    echo "scale_smoke: flight recorder inconsistent with recovery report" >&2
+    exit 1
+}
+[ -s "$dir/flight.json" ] || {
+    echo "scale_smoke: flight-recorder dump missing or empty" >&2
+    exit 1
+}
+cp "$dir/flight.json" "$artifact"
+echo "scale_smoke: flight-recorder dump at $artifact"
 echo "scale_smoke: OK"
