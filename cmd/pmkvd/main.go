@@ -46,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"persistbarriers/internal/dlcheck"
 	"persistbarriers/internal/obs"
 	"persistbarriers/internal/pmkv"
 	"persistbarriers/internal/sim"
@@ -63,6 +64,7 @@ func main() {
 		crashAt  = flag.Uint64("crash-at", 0, "simulated power loss at this cycle of each shard's clock (0 = never)")
 		mailbox  = flag.Int("mailbox", 256, "per-shard request queue depth")
 		maxbatch = flag.Int("maxbatch", 64, "max requests per group commit")
+		check    = flag.Bool("check", false, "run the online durable-linearizability checker; verdict printed at drain and after every selfcheck instant")
 
 		admin      = flag.String("admin", "", "admin HTTP address for /metrics, /statz, /debug/pprof (empty = off)")
 		flightDump = flag.String("flight-dump", "", "write the flight-recorder dump here on crash/drain (empty = off)")
@@ -121,6 +123,7 @@ func main() {
 			Buckets:  *buckets,
 			BatchGap: sim.Cycle(*gap),
 			CrashAt:  sim.Cycle(*crashAt),
+			Check:    *check,
 		},
 		Mailbox:  *mailbox,
 		MaxBatch: *maxbatch,
@@ -163,6 +166,9 @@ func runSelfcheck(cfg pmkv.Config, spec pmkv.ScriptSpec, n int) error {
 	}
 	fmt.Printf("clean run: %d cycles, %d publishes, %d epochs, fingerprint %.16s\n",
 		clean.Cycles, clean.Report.TotalPublishes, clean.Report.Epochs, clean.Report.Fingerprint)
+	if clean.DL != nil {
+		fmt.Printf("durable linearizability: %s\n", clean.DL)
+	}
 	crashed := 0
 	for i, at := range pmkv.SweepInstants(clean.Cycles, n) {
 		ccfg := cfg
@@ -181,6 +187,9 @@ func runSelfcheck(cfg pmkv.Config, spec pmkv.ScriptSpec, n int) error {
 		if out.Crashed {
 			crashed++
 		}
+	}
+	if cfg.Check {
+		fmt.Printf("durable linearizability: OK across %d crash instants\n", n)
 	}
 	fmt.Printf("selfcheck OK: %d instants (%d mid-run crashes), all invariants held, recovery deterministic\n",
 		n, crashed)
@@ -203,6 +212,13 @@ func runShardedSelfcheck(cfg pmkv.ShardedConfig, spec pmkv.ScriptSpec, n int) er
 	}
 	fmt.Printf("clean run: %d shards, span %d cycles, %d publishes, combined fingerprint %.16s\n",
 		len(clean.PerShard), span, clean.TotalPublishes(), clean.Fingerprint)
+	verdicts := make([]*dlcheck.Verdict, len(clean.PerShard))
+	for i, r := range clean.PerShard {
+		verdicts[i] = r.DL
+	}
+	if line := dlLine(verdicts); line != "" {
+		fmt.Printf("durable linearizability: %s\n", line)
+	}
 	crashed := 0
 	for i, at := range pmkv.SweepInstants(span, n) {
 		ccfg := cfg
@@ -222,9 +238,35 @@ func runShardedSelfcheck(cfg pmkv.ShardedConfig, spec pmkv.ScriptSpec, n int) er
 			crashed++
 		}
 	}
+	if cfg.Engine.Check {
+		fmt.Printf("durable linearizability: OK across %d crash instants\n", n)
+	}
 	fmt.Printf("selfcheck OK: %d shards x %d instants (%d mid-run crashes), all invariants held, recovery deterministic\n",
 		cfg.Shards, n, crashed)
 	return nil
+}
+
+// dlLine folds per-shard durable-linearizability verdicts into one
+// greppable report body ("" when the checker was off everywhere).
+func dlLine(vs []*dlcheck.Verdict) string {
+	var agg dlcheck.Verdict
+	any := false
+	for _, v := range vs {
+		if v == nil {
+			continue
+		}
+		any = true
+		agg.Ops += v.Ops
+		agg.Reads += v.Reads
+		agg.Publishes += v.Publishes
+		agg.Durable += v.Durable
+		agg.Acked += v.Acked
+		agg.Violations = append(agg.Violations, v.Violations...)
+	}
+	if !any {
+		return ""
+	}
+	return agg.String()
 }
 
 // request is the wire format of one client line.
@@ -485,7 +527,16 @@ func (s *server) appendStats(buf []byte) []byte {
 func (s *server) finalReport() error {
 	crashed := s.store.Crashed()
 	results, err := s.store.Close()
+	verdicts := make([]*dlcheck.Verdict, len(results))
+	for i, r := range results {
+		verdicts[i] = r.DL
+	}
 	if err != nil {
+		// Close folds checker rejections into its error; the verdict line
+		// still prints so the smoke scripts can grep it on either path.
+		if line := dlLine(verdicts); line != "" {
+			fmt.Printf("  durable linearizability: %s\n", line)
+		}
 		return fmt.Errorf("recovery verification FAILED: %w", err)
 	}
 	mode := "clean drain"
@@ -509,6 +560,9 @@ func (s *server) finalReport() error {
 	}
 	fmt.Printf("  recovered keys: %d; combined fingerprint %.16s\n", recovered, pmkv.CombineFingerprints(fps))
 	fmt.Printf("  recovery invariants: OK\n")
+	if line := dlLine(verdicts); line != "" {
+		fmt.Printf("  durable linearizability: %s\n", line)
+	}
 	if err := s.flightReport(results); err != nil {
 		return err
 	}

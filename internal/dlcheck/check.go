@@ -1,0 +1,248 @@
+// Crash-image decision procedure: given the per-bucket publish order and
+// durability flags the engine derives from a machine result, decide
+// durable linearizability against everything the tracker observed online.
+package dlcheck
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Publish is one retired publish as the crash image orders it: the
+// engine mutation-record index, the bucket it published to, and whether
+// its head-pointer store reached NVRAM.
+type Publish struct {
+	Rec     int
+	Bucket  int
+	Durable bool
+}
+
+// Image is the checker's view of one crash (or clean-drain) image: every
+// retired publish in global commit (version) order. Publishes the
+// tracker observed but the image does not list never retired before the
+// crash and are treated as lost.
+type Image struct {
+	Order []Publish
+}
+
+// Clone deep-copies the image (mutation tests corrupt copies).
+func (img *Image) Clone() *Image {
+	return &Image{Order: append([]Publish(nil), img.Order...)}
+}
+
+// Kind classifies a violation.
+type Kind uint8
+
+const (
+	// KindAckedLost: an op acked durable is not recovered.
+	KindAckedLost Kind = iota
+	// KindHBOrder: a recovered publish happens-after a lost one.
+	KindHBOrder
+	// KindReadContradiction: the recovered state contradicts a value a
+	// client already observed (e.g. a deleted key resurrected, or a read
+	// write lost while later effects survived).
+	KindReadContradiction
+	// KindUnknownPublish: the image names a publish the tracker never
+	// observed (a corrupt or mismatched image).
+	KindUnknownPublish
+)
+
+// Violation is one durable-linearizability violation with enough
+// identity for a fuzzer to minimize against: the offending publish
+// record, the session involved, and the lost record it conflicts with.
+type Violation struct {
+	Kind Kind
+	// Sess is the session whose order or observation is violated.
+	Sess int
+	// Rec is the durable (or acked) publish record at fault.
+	Rec int
+	// Other is the lost record Rec conflicts with (-1 when not
+	// applicable).
+	Other int
+	// Key is the contradicted key (read contradictions only).
+	Key string
+	// Msg is the full human-readable diagnostic.
+	Msg string
+}
+
+// Error implements error.
+func (v *Violation) Error() string { return v.Msg }
+
+// Verdict is the checker's decision over one image.
+type Verdict struct {
+	// Ops, Reads, Publishes count what the tracker observed online.
+	Ops, Reads, Publishes int
+	// Durable counts recovered publishes; Acked the durably-acked prefix.
+	Durable, Acked int
+	// Violations is every violation found, in deterministic order.
+	Violations []*Violation
+}
+
+// OK reports whether the image is durably linearizable.
+func (v *Verdict) OK() bool { return len(v.Violations) == 0 }
+
+// Err returns nil when OK, else every violation joined.
+func (v *Verdict) Err() error {
+	if v.OK() {
+		return nil
+	}
+	errs := make([]error, len(v.Violations))
+	for i, viol := range v.Violations {
+		errs[i] = viol
+	}
+	return errors.Join(errs...)
+}
+
+// String renders the greppable verdict line body.
+func (v *Verdict) String() string {
+	if v.OK() {
+		return fmt.Sprintf("OK (%d ops, %d publishes, %d durable, %d reads, %d acked)",
+			v.Ops, v.Publishes, v.Durable, v.Reads, v.Acked)
+	}
+	return fmt.Sprintf("FAILED (%d violations; first: %s)", len(v.Violations), v.Violations[0].Msg)
+}
+
+// Check decides durable linearizability of the image. It runs entirely
+// at check time: per-session lost thresholds come from the first
+// non-durable publish in program order, full clocks are reconstructed
+// from the adaptive timestamps, publish-order edges are folded in by
+// joining a running clock per bucket along commit order, and the three
+// conditions (acked⇒recovered, reads uncontradicted, happens-before
+// closure) are checked against every durable publish. All violations
+// are collected — not just the first — so counterexample minimization
+// sees the complete diagnosis.
+func (t *Tracker) Check(img *Image) *Verdict {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	v := &Verdict{Ops: t.ops, Reads: t.reads, Acked: t.acked}
+	nSess := len(t.sess)
+
+	// Durability per observed record; image entries naming unknown
+	// records are themselves violations.
+	known := make(map[int32]*pubOwner)
+	owners := make([]pubOwner, 0, 64)
+	for sid, s := range t.sess {
+		v.Publishes += len(s.pubs)
+		for i := range s.pubs {
+			owners = append(owners, pubOwner{sess: int32(sid), pub: &s.pubs[i]})
+		}
+	}
+	for i := range owners {
+		known[owners[i].pub.rec] = &owners[i]
+	}
+	durable := make(map[int32]bool, len(img.Order))
+	for _, p := range img.Order {
+		rec := int32(p.Rec)
+		if known[rec] == nil {
+			v.Violations = append(v.Violations, &Violation{
+				Kind: KindUnknownPublish, Sess: -1, Rec: p.Rec, Other: -1,
+				Msg: fmt.Sprintf("dlcheck: image orders publish rec %d the tracker never observed", p.Rec),
+			})
+			continue
+		}
+		if p.Durable {
+			durable[rec] = true
+			v.Durable++
+		}
+	}
+
+	// Per-session lost threshold: the clock position of the first
+	// publish (in program order) that is not durable. Everything at or
+	// beyond it is lost; a durable publish whose clock includes such a
+	// position happens-after a lost effect.
+	lostAt := make([]int32, nSess)
+	lostRec := make([]int32, nSess)
+	for sid, s := range t.sess {
+		lostAt[sid], lostRec[sid] = never, -1
+		for _, p := range s.pubs {
+			if !durable[p.rec] {
+				lostAt[sid], lostRec[sid] = p.own, p.rec
+				break
+			}
+		}
+	}
+
+	// Walk the commit order once, reconstructing each publish's full
+	// clock joined with its bucket's running clock (the publish-order
+	// edges), and check closure for the durable ones. maxDur[s] tracks
+	// the highest component of s any durable publish carries, with a
+	// witness for read diagnostics.
+	bucketVC := make(map[int][]int32)
+	maxDur := make([]int32, nSess)
+	maxDurWitness := make([]int32, nSess)
+	for i := range maxDurWitness {
+		maxDurWitness[i] = -1
+	}
+	for _, p := range img.Order {
+		owner := known[int32(p.Rec)]
+		if owner == nil {
+			continue
+		}
+		full := t.vcAt(owner.pub.own, owner.pub.snap, owner.sess, bucketVC[p.Bucket])
+		bucketVC[p.Bucket] = full
+		if !p.Durable {
+			continue
+		}
+		for sid := 0; sid < nSess && sid < len(full); sid++ {
+			if full[sid] >= lostAt[sid] {
+				v.Violations = append(v.Violations, &Violation{
+					Kind: KindHBOrder, Sess: sid, Rec: p.Rec, Other: int(lostRec[sid]),
+					Msg: fmt.Sprintf(
+						"dlcheck: recovered publish rec %d (session %d) happens-after lost publish rec %d of session %d",
+						p.Rec, owner.sess, lostRec[sid], sid),
+				})
+			}
+			if full[sid] > maxDur[sid] {
+				maxDur[sid] = full[sid]
+				maxDurWitness[sid] = int32(p.Rec)
+			}
+		}
+	}
+
+	// Acked ⇒ recovered: the durably-acked record prefix must be in the
+	// image.
+	for sid, s := range t.sess {
+		for _, p := range s.pubs {
+			if int(p.rec) < t.acked && !durable[p.rec] {
+				v.Violations = append(v.Violations, &Violation{
+					Kind: KindAckedLost, Sess: sid, Rec: int(p.rec), Other: -1,
+					Msg: fmt.Sprintf(
+						"dlcheck: publish rec %d (session %d) was acked durable but is not recovered",
+						p.rec, sid),
+				})
+			}
+		}
+	}
+
+	// Reads: a client observed write W; if W is lost, nothing that
+	// happens-after the read may be recovered. maxDur[s] > idx means
+	// some durable publish carries the reader's state past the read.
+	for sid, s := range t.sess {
+		for _, r := range s.reads {
+			if !r.hasW || durable[r.w.rec] {
+				continue
+			}
+			if sid < len(maxDur) && maxDur[sid] > r.idx {
+				v.Violations = append(v.Violations, &Violation{
+					Kind: KindReadContradiction, Sess: sid, Rec: int(maxDurWitness[sid]),
+					Other: int(r.w.rec), Key: r.key,
+					Msg: fmt.Sprintf(
+						"dlcheck: session %d observed write rec %d of key %q, which is not recovered, but publish rec %d that happens-after the read is",
+						sid, r.w.rec, r.key, maxDurWitness[sid]),
+				})
+			}
+		}
+	}
+	return v
+}
+
+// pubOwner pairs a publish with its owning session for check-time
+// lookups.
+type pubOwner struct {
+	sess int32
+	pub  *pubRef
+}

@@ -1,0 +1,257 @@
+package dlcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDisabledZeroAlloc pins the engine-facing contract: a nil tracker's
+// observation path costs zero allocations per op (the -check-off hot
+// path).
+func TestDisabledZeroAlloc(t *testing.T) {
+	var tr *Tracker
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.ObserveRead(1, "k001", 0)
+		tr.ObserveWrite(1, 2, "k001")
+		tr.AckDurable(3)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observation path allocates %v per op, want 0", allocs)
+	}
+	if tr.Enabled() {
+		t.Fatal("nil tracker reports Enabled")
+	}
+	if tr.Check(&Image{}) != nil {
+		t.Fatal("nil tracker Check returned a verdict")
+	}
+	if tr.Snapshots() != 0 || tr.Ops() != 0 {
+		t.Fatal("nil tracker reports nonzero counters")
+	}
+}
+
+// TestAdaptiveSnapshots pins the FastTrack-style representation switch:
+// same-session runs materialize no vector-clock snapshots; a snapshot is
+// taken only at the first write after a cross-session join raised a
+// foreign component.
+func TestAdaptiveSnapshots(t *testing.T) {
+	tr := New()
+	// A long single-session run: reads observe the session's own writes.
+	for i := 0; i < 100; i++ {
+		tr.ObserveWrite(0, i, "k000")
+		tr.ObserveRead(0, "k000", i)
+	}
+	if got := tr.Snapshots(); got != 0 {
+		t.Fatalf("single-session run took %d snapshots, want 0", got)
+	}
+
+	// Session 1 observes session 0's write: the join dirties its clock,
+	// and exactly one snapshot is taken at its next write.
+	tr.ObserveRead(1, "k000", 99)
+	tr.ObserveWrite(1, 100, "k777")
+	if got := tr.Snapshots(); got != 1 {
+		t.Fatalf("after one cross-session join: %d snapshots, want 1", got)
+	}
+
+	// Further same-session writes and re-reads of the already-joined
+	// write stay in the epoch representation.
+	tr.ObserveRead(1, "k000", 99)
+	for i := 101; i < 110; i++ {
+		tr.ObserveWrite(1, i, "k777")
+	}
+	if got := tr.Snapshots(); got != 1 {
+		t.Fatalf("no new joins but %d snapshots, want 1", got)
+	}
+
+	// A join in the other direction costs exactly one more.
+	tr.ObserveRead(0, "k777", 109)
+	tr.ObserveWrite(0, 110, "k000")
+	if got := tr.Snapshots(); got != 2 {
+		t.Fatalf("after reverse join: %d snapshots, want 2", got)
+	}
+}
+
+func kinds(v *Verdict) map[Kind]int {
+	out := make(map[Kind]int)
+	for _, viol := range v.Violations {
+		out[viol.Kind]++
+	}
+	return out
+}
+
+// TestCheckOK: a cross-session chain where everything observed is
+// durable is accepted.
+func TestCheckOK(t *testing.T) {
+	tr := New()
+	tr.ObserveWrite(0, 0, "k001") // W0
+	tr.ObserveRead(1, "k001", 0)  // s1 observes W0
+	tr.ObserveWrite(1, 1, "k002") // W1
+	tr.AckDurable(2)
+	v := tr.Check(&Image{Order: []Publish{
+		{Rec: 0, Bucket: 0, Durable: true},
+		{Rec: 1, Bucket: 1, Durable: true},
+	}})
+	if !v.OK() {
+		t.Fatalf("expected OK, got %s", v)
+	}
+	if v.Durable != 2 || v.Publishes != 2 || v.Reads != 1 || v.Acked != 2 {
+		t.Fatalf("verdict counters wrong: %+v", v)
+	}
+	if v.Err() != nil {
+		t.Fatalf("OK verdict returned error %v", v.Err())
+	}
+	if !strings.HasPrefix(v.String(), "OK (") {
+		t.Fatalf("verdict string %q", v)
+	}
+}
+
+// TestSessionPrefixHBOrder: a session's later publish durable while its
+// earlier one is lost violates happens-before closure (program order).
+func TestSessionPrefixHBOrder(t *testing.T) {
+	tr := New()
+	tr.ObserveWrite(0, 0, "k001")
+	tr.ObserveWrite(0, 1, "k002")
+	v := tr.Check(&Image{Order: []Publish{
+		{Rec: 0, Bucket: 0, Durable: false},
+		{Rec: 1, Bucket: 1, Durable: true},
+	}})
+	if v.OK() {
+		t.Fatal("expected violation")
+	}
+	k := kinds(v)
+	if k[KindHBOrder] != 1 || len(v.Violations) != 1 {
+		t.Fatalf("want exactly one hb-order violation, got %v (%s)", k, v)
+	}
+	viol := v.Violations[0]
+	if viol.Rec != 1 || viol.Other != 0 || viol.Sess != 0 {
+		t.Fatalf("violation identity wrong: %+v", viol)
+	}
+}
+
+// TestCrossSessionHBOrder: a reader's durable publish happens-after a
+// lost foreign write it observed — both the closure check and the read
+// check fire, with distinct diagnostics.
+func TestCrossSessionHBOrder(t *testing.T) {
+	tr := New()
+	tr.ObserveWrite(0, 0, "k001") // W0, will be lost
+	tr.ObserveRead(1, "k001", 0)
+	tr.ObserveWrite(1, 1, "k002") // W1, durable
+	v := tr.Check(&Image{Order: []Publish{
+		{Rec: 0, Bucket: 0, Durable: false},
+		{Rec: 1, Bucket: 1, Durable: true},
+	}})
+	k := kinds(v)
+	if k[KindHBOrder] != 1 || k[KindReadContradiction] != 1 {
+		t.Fatalf("want hb-order + read-contradiction, got %v (%s)", k, v)
+	}
+	for _, viol := range v.Violations {
+		if viol.Kind == KindReadContradiction && viol.Key != "k001" {
+			t.Fatalf("read contradiction names key %q, want k001", viol.Key)
+		}
+	}
+}
+
+// TestAckedLost: an acked publish missing from the image is flagged even
+// when nothing else is durable.
+func TestAckedLost(t *testing.T) {
+	tr := New()
+	tr.ObserveWrite(0, 0, "k001")
+	tr.AckDurable(1)
+	v := tr.Check(&Image{Order: []Publish{{Rec: 0, Bucket: 0, Durable: false}}})
+	k := kinds(v)
+	if k[KindAckedLost] != 1 || len(v.Violations) != 1 {
+		t.Fatalf("want exactly one acked-lost violation, got %v (%s)", k, v)
+	}
+	if !strings.Contains(v.Violations[0].Msg, "acked durable") {
+		t.Fatalf("diagnostic %q", v.Violations[0].Msg)
+	}
+}
+
+// TestResurrectedDelete: a client observed a tombstone; losing the
+// tombstone while the observer's later effects survive resurrects the
+// key and is rejected as a read contradiction.
+func TestResurrectedDelete(t *testing.T) {
+	tr := New()
+	tr.ObserveWrite(0, 0, "k001") // Put k001
+	tr.ObserveWrite(0, 1, "k001") // Delete k001 (tombstone publish)
+	tr.ObserveRead(1, "k001", 1)  // s1 sees the deletion
+	tr.ObserveWrite(1, 2, "k002") // s1's later durable effect
+	v := tr.Check(&Image{Order: []Publish{
+		{Rec: 0, Bucket: 0, Durable: true},
+		{Rec: 1, Bucket: 0, Durable: false}, // tombstone lost => k001 resurrected
+		{Rec: 2, Bucket: 1, Durable: true},
+	}})
+	k := kinds(v)
+	if k[KindReadContradiction] != 1 {
+		t.Fatalf("want read-contradiction, got %v (%s)", k, v)
+	}
+	var rc *Violation
+	for _, viol := range v.Violations {
+		if viol.Kind == KindReadContradiction {
+			rc = viol
+		}
+	}
+	if rc.Key != "k001" || rc.Other != 1 || rc.Sess != 1 {
+		t.Fatalf("read contradiction identity wrong: %+v", rc)
+	}
+}
+
+// TestBucketOrderClosure: publish-order edges within a bucket carry
+// foreign clocks — a durable publish ordered after a lost one in the
+// same bucket is rejected even with no direct session/read link.
+func TestBucketOrderClosure(t *testing.T) {
+	tr := New()
+	tr.ObserveWrite(0, 0, "k001") // bucket 3, first in commit order, lost
+	tr.ObserveWrite(1, 1, "k002") // bucket 3, second in commit order, durable
+	v := tr.Check(&Image{Order: []Publish{
+		{Rec: 0, Bucket: 3, Durable: false},
+		{Rec: 1, Bucket: 3, Durable: true},
+	}})
+	k := kinds(v)
+	if k[KindHBOrder] != 1 {
+		t.Fatalf("want hb-order from the bucket chain, got %v (%s)", k, v)
+	}
+}
+
+// TestUnknownPublish: an image naming a record the tracker never saw is
+// itself a violation.
+func TestUnknownPublish(t *testing.T) {
+	tr := New()
+	tr.ObserveWrite(0, 0, "k001")
+	v := tr.Check(&Image{Order: []Publish{
+		{Rec: 0, Bucket: 0, Durable: true},
+		{Rec: 99, Bucket: 0, Durable: true},
+	}})
+	k := kinds(v)
+	if k[KindUnknownPublish] != 1 {
+		t.Fatalf("want unknown-publish, got %v (%s)", k, v)
+	}
+	if !strings.Contains(v.String(), "FAILED") {
+		t.Fatalf("verdict string %q", v)
+	}
+}
+
+// TestCloneIsolation: mutation tests corrupt clones; the original image
+// must be unaffected.
+func TestCloneIsolation(t *testing.T) {
+	img := &Image{Order: []Publish{{Rec: 0, Bucket: 0, Durable: true}}}
+	c := img.Clone()
+	c.Order[0].Durable = false
+	if !img.Order[0].Durable {
+		t.Fatal("Clone aliases the original order")
+	}
+}
+
+// TestKindString pins the diagnostic vocabulary.
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindAckedLost:         "acked-lost",
+		KindHBOrder:           "hb-order",
+		KindReadContradiction: "read-contradiction",
+		KindUnknownPublish:    "unknown-publish",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package pmkv
 import (
 	"fmt"
 
+	"persistbarriers/internal/dlcheck"
 	"persistbarriers/internal/sim"
 	"persistbarriers/internal/trace"
 )
@@ -22,6 +23,15 @@ type ScriptSpec struct {
 	KeySpace   int
 	ValueBytes int // maximum value size; actual sizes vary per op
 	Seed       uint64
+	// PutPct/GetPct set the op mix in percent (defaults 70/15, remainder
+	// Delete); zero means default, so existing specs keep their exact
+	// request streams and fingerprints.
+	PutPct, GetPct int
+	// Keys, when non-nil, overrides the key universe: each op draws
+	// uniformly from Keys instead of the generated k%03d space. The rng
+	// consumes one draw either way, so crash sweeps over the same seed
+	// stay aligned (the metamorphic tests pin keys to one shard with it).
+	Keys []string
 }
 
 // fill applies defaults.
@@ -37,6 +47,15 @@ func (s *ScriptSpec) fill() {
 	}
 	if s.ValueBytes <= 0 {
 		s.ValueBytes = 192
+	}
+	if s.PutPct <= 0 {
+		s.PutPct = 70
+	}
+	if s.GetPct <= 0 {
+		s.GetPct = 15
+	}
+	if s.PutPct+s.GetPct > 100 {
+		s.PutPct, s.GetPct = 70, 15
 	}
 }
 
@@ -56,17 +75,22 @@ func genScript(spec ScriptSpec) [][]scriptOp {
 	for r := range rounds {
 		rounds[r] = make([]scriptOp, spec.Sessions)
 		for s := range rounds[r] {
-			key := fmt.Sprintf("k%03d", rng.Intn(spec.KeySpace))
+			var key string
+			if len(spec.Keys) > 0 {
+				key = spec.Keys[rng.Intn(len(spec.Keys))]
+			} else {
+				key = fmt.Sprintf("k%03d", rng.Intn(spec.KeySpace))
+			}
 			roll := rng.Intn(100)
 			switch {
-			case roll < 70:
+			case roll < spec.PutPct:
 				n := 1 + rng.Intn(spec.ValueBytes)
 				val := make([]byte, n)
 				for i := range val {
 					val[i] = byte(rng.Uint64())
 				}
 				rounds[r][s] = scriptOp{op: Put, key: key, value: val}
-			case roll < 85:
+			case roll < spec.PutPct+spec.GetPct:
 				rounds[r][s] = scriptOp{op: Get, key: key}
 			default:
 				rounds[r][s] = scriptOp{op: Delete, key: key}
@@ -74,6 +98,29 @@ func genScript(spec ScriptSpec) [][]scriptOp {
 		}
 	}
 	return rounds
+}
+
+// ScriptedOp is one scripted request, exported for counterexample
+// transcripts: the round and session it runs in, the op, its key, and
+// the value size (values themselves are deterministic from the spec).
+type ScriptedOp struct {
+	Round, Sess int
+	Op          Op
+	Key         string
+	ValueLen    int
+}
+
+// ScriptOps expands a spec into its full op trace in execution order —
+// the transcript a fuzzer prints for a minimized counterexample.
+func ScriptOps(spec ScriptSpec) []ScriptedOp {
+	spec.fill()
+	var out []ScriptedOp
+	for r, round := range genScript(spec) {
+		for s, op := range round {
+			out = append(out, ScriptedOp{Round: r, Sess: s, Op: op.op, Key: op.key, ValueLen: len(op.value)})
+		}
+	}
+	return out
 }
 
 // RunResult is the outcome of one scripted run.
@@ -89,6 +136,8 @@ type RunResult struct {
 	// Report is the verification result; Recovered the durable state.
 	Report    *Report
 	Recovered map[string][]byte
+	// DL is the durable-linearizability verdict (nil unless cfg.Check).
+	DL *dlcheck.Verdict
 }
 
 // RunScript drives a fresh engine through the scripted load, crashing at
@@ -134,6 +183,12 @@ func RunScript(cfg Config, spec ScriptSpec) (*RunResult, error) {
 	out.Recovered, err = e.RecoveredState(res)
 	if err != nil {
 		return out, err
+	}
+	out.DL = e.CheckDL(res)
+	if out.DL != nil {
+		if err := out.DL.Err(); err != nil {
+			return out, fmt.Errorf("pmkv: durable linearizability: %w", err)
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,120 @@
+// Durable-linearizability bridge: the engine's group-commit read
+// snapshot (which publish answered each read), the observation hooks
+// into internal/dlcheck, and the translation of a machine result into
+// the checker's image — the per-bucket publish commit order with
+// per-publish durability flags.
+package pmkv
+
+import (
+	"sort"
+
+	"persistbarriers/internal/dlcheck"
+	"persistbarriers/internal/machine"
+	"persistbarriers/internal/mem"
+)
+
+// batchWrite is one session's last write to a key within the current
+// group commit (the value its own later reads in the batch observe).
+type batchWrite struct {
+	val   []byte
+	found bool
+	rec   int
+}
+
+// batchKey is the per-key overlay for the current group commit: the
+// pre-batch snapshot every other session's reads observe, plus the
+// per-session writes for read-your-own-batch-writes.
+type batchKey struct {
+	oldVal   []byte
+	oldFound bool
+	oldRec   int
+	bySess   map[int]batchWrite
+}
+
+// lastRecOf reports the last mutation record index for a key (-1: the
+// key has never been mutated).
+func (e *Engine) lastRecOf(key string) int {
+	if r, ok := e.lastRec[key]; ok {
+		return r
+	}
+	return -1
+}
+
+// observedRead answers a read under the group-commit snapshot semantics:
+// the session's own write in the current batch if it made one, else the
+// pre-batch state. rec identifies the publish whose value (or tombstone)
+// the response carries (-1: never written), feeding the tracker's
+// happens-before edge. Caller holds e.mu.
+func (e *Engine) observedRead(sess int, key string) (val []byte, found bool, rec int) {
+	if bk, ok := e.batch[key]; ok {
+		if w, ok := bk.bySess[sess]; ok {
+			return w.val, w.found, w.rec
+		}
+		return bk.oldVal, bk.oldFound, bk.oldRec
+	}
+	val, found = e.kv[key]
+	return val, found, e.lastRecOf(key)
+}
+
+// batchFor returns the key's overlay for the current batch, capturing
+// the pre-batch snapshot on first touch. Caller holds e.mu.
+func (e *Engine) batchFor(key string) *batchKey {
+	bk, ok := e.batch[key]
+	if !ok {
+		v, found := e.kv[key]
+		bk = &batchKey{oldVal: v, oldFound: found, oldRec: e.lastRecOf(key), bySess: make(map[int]batchWrite)}
+		e.batch[key] = bk
+	}
+	return bk
+}
+
+// DL exposes the engine's durable-linearizability tracker (nil unless
+// Config.Check); callers hand it ack watermarks, and its nil-receiver
+// methods make every hook free when checking is off.
+func (e *Engine) DL() *dlcheck.Tracker { return e.dl }
+
+// DLImage translates a machine result into the checker's image: every
+// retired publish, grouped per bucket in head-store commit (version)
+// order, flagged durable when its head version reached NVRAM. The
+// cross-bucket interleaving is immaterial to the checker — only each
+// bucket's chain order carries edges — so buckets are emitted in head
+// order for determinism.
+func (e *Engine) DLImage(res *machine.Result) *dlcheck.Image {
+	e.mu.Lock()
+	records := e.records
+	e.mu.Unlock()
+
+	recIdx := make(map[*OpRecord]int, len(records))
+	for i, r := range records {
+		recIdx[r] = i
+	}
+	byHead := publishesByHead(records, res.TokenVersions)
+	heads := make([]mem.Line, 0, len(byHead))
+	for h := range byHead {
+		heads = append(heads, h)
+	}
+	sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+	img := &dlcheck.Image{}
+	for _, h := range heads {
+		for _, r := range byHead[h] {
+			img.Order = append(img.Order, dlcheck.Publish{
+				Rec:     recIdx[r],
+				Bucket:  r.Bucket,
+				Durable: durable(res.Image, r.Head, res.TokenVersions[r.PubToken]),
+			})
+		}
+	}
+	return img
+}
+
+// CheckDL decides durable linearizability of a machine result against
+// everything the tracker observed online. Nil when checking is off.
+// Publishes the tracker saw but the image omits (never retired before
+// the crash) count as lost, which is exactly right: their sessions'
+// durable prefixes must end before them.
+func (e *Engine) CheckDL(res *machine.Result) *dlcheck.Verdict {
+	if e.dl == nil {
+		return nil
+	}
+	return e.dl.Check(e.DLImage(res))
+}

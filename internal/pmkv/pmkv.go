@@ -22,6 +22,7 @@ import (
 	"sort"
 	"sync"
 
+	"persistbarriers/internal/dlcheck"
 	"persistbarriers/internal/machine"
 	"persistbarriers/internal/mem"
 	"persistbarriers/internal/sim"
@@ -75,6 +76,12 @@ type Config struct {
 	// BatchGap is simulated time between request batches (background
 	// persist machinery keeps running during the gap). Default 200.
 	BatchGap sim.Cycle
+	// Check enables the online durable-linearizability tracker
+	// (internal/dlcheck): every read observation, publish, and
+	// durability-gated ack is recorded, and CheckDL decides the verdict
+	// against the final image. Off by default; when off the observation
+	// hooks are nil-receiver no-ops costing zero allocations.
+	Check bool
 }
 
 // SmallMachine is a 4-core LB++ machine suitable for interactive use and
@@ -122,6 +129,14 @@ type Request struct {
 
 // Response answers a Request from the engine's volatile state (visibility
 // is immediate; durability is what Verify and RecoveredState reason about).
+// Within one group commit, reads are snapshot-consistent: a Get (or a
+// Delete's Found) observes the state as of batch admission plus the
+// session's own writes in the batch — never another session's same-batch
+// write. Same-batch ops are concurrent in simulated time, and the machine
+// only orders a reader's later persists after a foreign write it observed
+// when the observation crosses a batch boundary (the head-line load hits
+// the writer's unpersisted epoch), so serving foreign same-batch writes
+// would be a dirty read that durable linearizability cannot honor.
 type Response struct {
 	Found bool
 	Value []byte
@@ -158,6 +173,12 @@ type Engine struct {
 
 	kv      map[string][]byte     // volatile logical state
 	entries map[string][]mem.Line // current entry lines per key (for Get loads)
+	lastRec map[string]int        // last mutation record index per key
+	batch   map[string]*batchKey  // current group commit's write overlay
+
+	// dl observes ops for durable-linearizability checking; nil unless
+	// cfg.Check (nil-receiver methods make disabled hooks free).
+	dl *dlcheck.Tracker
 
 	nextToken uint64
 	nextEntry mem.Addr
@@ -196,14 +217,20 @@ func New(cfg Config) (*Engine, error) {
 	if err := m.StartStream(); err != nil {
 		return nil, err
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:       cfg,
 		m:         m,
 		kv:        make(map[string][]byte),
 		entries:   make(map[string][]mem.Line),
+		lastRec:   make(map[string]int),
+		batch:     make(map[string]*batchKey),
 		nextEntry: entryBase,
 		seqs:      make(map[int]int),
-	}, nil
+	}
+	if cfg.Check {
+		e.dl = dlcheck.New()
+	}
+	return e, nil
 }
 
 // NewSession opens a client session, pinning it to a core round-robin.
@@ -264,12 +291,16 @@ func (e *Engine) translate(req Request) (Response, []trace.Op, error) {
 	switch req.Op {
 	case Get:
 		b.Load(head.Addr())
-		val, ok := e.kv[req.Key]
+		val, found, obsRec := e.observedRead(req.Sess.ID, req.Key)
+		// Loads target the key's newest entry lines (the op stream is
+		// independent of which snapshot answers the read, keeping machine
+		// timing — and every existing fingerprint — unchanged).
 		for _, l := range e.entries[req.Key] {
 			b.Load(l.Addr())
 		}
 		b.TxEnd()
-		return Response{Found: ok, Value: val}, b.Ops(), nil
+		e.dl.ObserveRead(req.Sess.ID, req.Key, obsRec)
+		return Response{Found: found, Value: val}, b.Ops(), nil
 
 	case Put:
 		val := append([]byte(nil), req.Value...)
@@ -292,13 +323,18 @@ func (e *Engine) translate(req Request) (Response, []trace.Op, error) {
 		b.Barrier()
 		b.TxEnd()
 
+		recIdx := len(e.records)
+		bk := e.batchFor(req.Key)
+		bk.bySess[req.Sess.ID] = batchWrite{val: val, found: true, rec: recIdx}
 		e.kv[req.Key] = val
 		e.entries[req.Key] = rec.EntryLines
+		e.lastRec[req.Key] = recIdx
 		e.records = append(e.records, rec)
+		e.dl.ObserveWrite(req.Sess.ID, recIdx, req.Key)
 		return Response{Found: true, Value: val}, b.Ops(), nil
 
 	case Delete:
-		_, found := e.kv[req.Key]
+		_, found, obsRec := e.observedRead(req.Sess.ID, req.Key)
 		rec := &OpRecord{
 			Sess: req.Sess.ID, Seq: seq, Core: req.Sess.Core,
 			Op: Delete, Key: req.Key, Bucket: bucket, Head: head,
@@ -310,9 +346,15 @@ func (e *Engine) translate(req Request) (Response, []trace.Op, error) {
 		b.Barrier()
 		b.TxEnd()
 
+		recIdx := len(e.records)
+		bk := e.batchFor(req.Key)
+		bk.bySess[req.Sess.ID] = batchWrite{found: false, rec: recIdx}
 		delete(e.kv, req.Key)
 		delete(e.entries, req.Key)
+		e.lastRec[req.Key] = recIdx
 		e.records = append(e.records, rec)
+		e.dl.ObserveRead(req.Sess.ID, req.Key, obsRec)
+		e.dl.ObserveWrite(req.Sess.ID, recIdx, req.Key)
 		return Response{Found: found}, b.Ops(), nil
 
 	default:
@@ -371,6 +413,9 @@ func (e *Engine) submitLocked(batch []Request) ([]Response, error) {
 	if e.crashed {
 		return nil, ErrCrashed
 	}
+	// A fresh group commit: reads in this batch observe the pre-batch
+	// snapshot plus their own session's writes (see Response).
+	clear(e.batch)
 	resps := make([]Response, 0, len(batch))
 	for _, req := range batch {
 		resp, ops, err := e.translate(req)

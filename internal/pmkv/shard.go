@@ -14,6 +14,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"persistbarriers/internal/dlcheck"
 	"persistbarriers/internal/sim"
 	"persistbarriers/internal/stats"
 	"persistbarriers/internal/telemetry"
@@ -314,6 +315,9 @@ func (s *ShardedStore) runShard(sh *shard) {
 			for len(pending) > 0 && pending[0].target <= durable {
 				p := pending[0]
 				pending = pending[1:]
+				// These acks promise durability: record the obligation so
+				// the checker can hold the crash image to it.
+				sh.eng.DL().AckDurable(p.target)
 				for i, j := range p.jobs {
 					j.span.StampAt(telemetry.StageDurable, cycle)
 					j.reply <- ShardAck{Resp: p.resps[i], Shard: sh.id, Durable: durable}
@@ -323,8 +327,10 @@ func (s *ShardedStore) runShard(sh *shard) {
 				// Mailbox closed and the machinery ran dry with acks still
 				// gated: only Close's final drain persists the rest. Ack
 				// now — Close runs the full drain before the recovery
-				// snapshot, so durability still precedes the snapshot.
+				// snapshot, so durability still precedes the snapshot (and
+				// the acks remain checker obligations).
 				for _, p := range pending {
+					sh.eng.DL().AckDurable(p.target)
 					for i, j := range p.jobs {
 						j.span.StampAt(telemetry.StageDurable, cycle)
 						j.reply <- ShardAck{Resp: p.resps[i], Shard: sh.id, Durable: durable}
@@ -478,7 +484,10 @@ type ShardResult struct {
 	Cycles    sim.Cycle
 	Report    *Report
 	Recovered map[string][]byte
-	Err       error
+	// DL is the durable-linearizability verdict (nil unless the shard
+	// engine ran with Config.Check).
+	DL  *dlcheck.Verdict
+	Err error
 }
 
 // Close drains the store (BeginDrain + worker quiesce), then closes and
@@ -506,6 +515,10 @@ func (s *ShardedStore) Close() ([]ShardResult, error) {
 			r.Report, r.Err = sh.eng.Verify(res)
 			if r.Err == nil {
 				r.Recovered, r.Err = sh.eng.RecoveredState(res)
+			}
+			r.DL = sh.eng.CheckDL(res)
+			if r.Err == nil && r.DL != nil {
+				r.Err = r.DL.Err()
 			}
 		}
 		if r.Err != nil && firstErr == nil {

@@ -151,5 +151,11 @@ func runShardScript(e *Engine, shard, shards int, sessions [][]*Session, rounds 
 	if err != nil {
 		return out, err
 	}
+	out.DL = e.CheckDL(res)
+	if out.DL != nil {
+		if err := out.DL.Err(); err != nil {
+			return out, fmt.Errorf("pmkv: durable linearizability: %w", err)
+		}
+	}
 	return out, nil
 }

@@ -6,6 +6,7 @@
 package pmkv
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -109,37 +110,10 @@ func (e *Engine) Verify(res *machine.Result) (*Report, error) {
 		}
 	}
 
-	// Session order: durable publishes form a program-order prefix.
-	bySess := make(map[int][]*OpRecord)
-	for _, r := range records {
-		if r.Op != Get {
-			bySess[r.Sess] = append(bySess[r.Sess], r)
-		}
-	}
-	sessIDs := make([]int, 0, len(bySess))
-	for id := range bySess {
-		sessIDs = append(sessIDs, id)
-	}
-	sort.Ints(sessIDs)
-	for _, id := range sessIDs {
-		recs := bySess[id]
-		sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
-		lost := -1 // seq of the first non-durable publish
-		for _, r := range recs {
-			pubVer, retired := res.TokenVersions[r.PubToken]
-			isDurable := retired && durable(res.Image, r.Head, pubVer)
-			if !isDurable {
-				if lost < 0 {
-					lost = r.Seq
-				}
-				continue
-			}
-			if lost >= 0 {
-				return rep, fmt.Errorf(
-					"pmkv: session %d publish seq %d durable while earlier seq %d was lost",
-					id, r.Seq, lost)
-			}
-		}
+	// Session order: durable publishes form a program-order prefix. Every
+	// violation in the image is collected, not just the first.
+	if errs := sessionOrderErrors(records, res.TokenVersions, res.Image); len(errs) > 0 {
+		return rep, errors.Join(errs...)
 	}
 
 	state, err := e.RecoveredState(res)
@@ -153,6 +127,48 @@ func (e *Engine) Verify(res *machine.Result) (*Report, error) {
 	}
 	rep.Fingerprint = fp
 	return rep, nil
+}
+
+// sessionOrderErrors collects every per-session lost-prefix violation:
+// once a session loses one publish, each of its later durable publishes
+// inverts the barrier ordering and is reported individually — a fuzzer
+// minimizing a counterexample needs the complete diagnosis, not the
+// first hit. Sessions and sequences are walked in sorted order so the
+// error list is deterministic.
+func sessionOrderErrors(records []*OpRecord, tokens map[uint64]mem.Version, image map[mem.Line]mem.Version) []error {
+	bySess := make(map[int][]*OpRecord)
+	for _, r := range records {
+		if r.Op != Get {
+			bySess[r.Sess] = append(bySess[r.Sess], r)
+		}
+	}
+	sessIDs := make([]int, 0, len(bySess))
+	for id := range bySess {
+		sessIDs = append(sessIDs, id)
+	}
+	sort.Ints(sessIDs)
+	var errs []error
+	for _, id := range sessIDs {
+		recs := bySess[id]
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+		lost := -1 // seq of the first non-durable publish
+		for _, r := range recs {
+			pubVer, retired := tokens[r.PubToken]
+			isDurable := retired && durable(image, r.Head, pubVer)
+			if !isDurable {
+				if lost < 0 {
+					lost = r.Seq
+				}
+				continue
+			}
+			if lost >= 0 {
+				errs = append(errs, fmt.Errorf(
+					"pmkv: session %d publish seq %d durable while earlier seq %d was lost",
+					id, r.Seq, lost))
+			}
+		}
+	}
+	return errs
 }
 
 // recoverySnapshot renders the recovered state deterministically for

@@ -1,0 +1,82 @@
+package pmkv
+
+import (
+	"strings"
+	"testing"
+
+	"persistbarriers/internal/mem"
+)
+
+// synthRecord builds a minimal mutation record for session-order tests:
+// each publish gets its own head line so durability can be set per
+// record without fighting the per-line version order.
+func synthRecord(sess, seq int, token uint64, head mem.Line) *OpRecord {
+	return &OpRecord{Sess: sess, Seq: seq, Op: Put, Key: "k", Head: head, PubToken: token}
+}
+
+// TestSessionOrderErrorsCollectsAll: an image where one session has two
+// durable publishes after a lost one, and another session has one, must
+// report all three violations — not just the first — in deterministic
+// session/seq order.
+func TestSessionOrderErrorsCollectsAll(t *testing.T) {
+	var records []*OpRecord
+	tokens := make(map[uint64]mem.Version)
+	image := make(map[mem.Line]mem.Version)
+	nextLine := mem.Addr(0x7000_0000)
+	add := func(sess, seq int, token uint64, durable bool) {
+		head := mem.LineOf(nextLine)
+		nextLine += mem.LineSize
+		records = append(records, synthRecord(sess, seq, token, head))
+		tokens[token] = mem.Version(token)
+		if durable {
+			image[head] = mem.Version(token)
+		}
+	}
+	// Session 0: seq 0 lost, seq 1 and 2 durable => two violations.
+	add(0, 0, 1, false)
+	add(0, 1, 2, true)
+	add(0, 2, 3, true)
+	// Session 1: seq 0 durable, seq 1 lost, seq 2 durable => one violation.
+	add(1, 0, 4, true)
+	add(1, 1, 5, false)
+	add(1, 2, 6, true)
+	// Session 2: clean prefix => no violations.
+	add(2, 0, 7, true)
+	add(2, 1, 8, false)
+
+	errs := sessionOrderErrors(records, tokens, image)
+	if len(errs) != 3 {
+		t.Fatalf("got %d violations, want 3: %v", len(errs), errs)
+	}
+	want := []string{
+		"session 0 publish seq 1 durable while earlier seq 0 was lost",
+		"session 0 publish seq 2 durable while earlier seq 0 was lost",
+		"session 1 publish seq 2 durable while earlier seq 1 was lost",
+	}
+	for i, w := range want {
+		if !strings.Contains(errs[i].Error(), w) {
+			t.Fatalf("violation %d = %q, want it to contain %q", i, errs[i], w)
+		}
+	}
+}
+
+// TestSessionOrderErrorsCleanImage: durable prefixes produce no errors,
+// including the all-lost and all-durable edges.
+func TestSessionOrderErrorsCleanImage(t *testing.T) {
+	tokens := map[uint64]mem.Version{1: 1, 2: 2, 3: 3}
+	h1, h2, h3 := mem.LineOf(0x7100_0000), mem.LineOf(0x7100_0040), mem.LineOf(0x7100_0080)
+	records := []*OpRecord{
+		synthRecord(0, 0, 1, h1),
+		synthRecord(0, 1, 2, h2),
+		synthRecord(0, 2, 3, h3),
+	}
+	if errs := sessionOrderErrors(records, tokens, map[mem.Line]mem.Version{h1: 1, h2: 2, h3: 3}); len(errs) != 0 {
+		t.Fatalf("all-durable session flagged: %v", errs)
+	}
+	if errs := sessionOrderErrors(records, tokens, map[mem.Line]mem.Version{}); len(errs) != 0 {
+		t.Fatalf("all-lost session flagged: %v", errs)
+	}
+	if errs := sessionOrderErrors(records, tokens, map[mem.Line]mem.Version{h1: 1}); len(errs) != 0 {
+		t.Fatalf("durable prefix flagged: %v", errs)
+	}
+}

@@ -10,6 +10,10 @@
 # the repo root) so CI can upload it as a post-mortem artifact. The load
 # is rate-limited so recovery verification (superlinear in retired
 # publishes) stays fast in CI.
+#
+# Both phases run with -check, so the online durable-linearizability
+# verdict line must appear — under a clean SIGTERM drain first, then
+# under the injected crash.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,7 +27,34 @@ go build -o "$dir/pmkvd" ./cmd/pmkvd
 go build -o "$dir/pmkvload" ./cmd/pmkvload
 go build -o "$dir/promcheck" ./cmd/promcheck
 
-"$dir/pmkvd" -addr "$addr" -shards 4 -crash-at 100000 \
+# Phase 1: clean drain under load with the durable-linearizability
+# checker on — SIGTERM quiesces every shard and the verdict must be OK.
+"$dir/pmkvd" -addr "$addr" -shards 4 -check >"$dir/pmkvd-clean.log" 2>&1 &
+pid=$!
+sleep 1
+"$dir/pmkvload" -addr "$addr" -conns 4 -rate 300 -duration 2s
+kill -TERM "$pid"
+for _ in $(seq 1 120); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 1
+done
+if kill -0 "$pid" 2>/dev/null; then
+    echo "scale_smoke: pmkvd (clean phase) did not drain within 120s" >&2
+    cat "$dir/pmkvd-clean.log" >&2
+    exit 1
+fi
+cat "$dir/pmkvd-clean.log"
+grep -q "clean drain" "$dir/pmkvd-clean.log" || {
+    echo "scale_smoke: clean phase did not report a clean drain" >&2
+    exit 1
+}
+grep -q "durable linearizability: OK" "$dir/pmkvd-clean.log" || {
+    echo "scale_smoke: no durable-linearizability verdict under clean drain" >&2
+    exit 1
+}
+
+# Phase 2: crash mid-load, flight recorder + checker both armed.
+"$dir/pmkvd" -addr "$addr" -shards 4 -crash-at 100000 -check \
     -admin "$admin" -flight-dump "$dir/flight.json" >"$dir/pmkvd.log" 2>&1 &
 pid=$!
 sleep 1
@@ -75,6 +106,10 @@ grep -q "recovery invariants: OK" "$dir/pmkvd.log" || {
 }
 grep -q "flight recorder: .* consistency OK" "$dir/pmkvd.log" || {
     echo "scale_smoke: flight recorder inconsistent with recovery report" >&2
+    exit 1
+}
+grep -q "durable linearizability: OK" "$dir/pmkvd.log" || {
+    echo "scale_smoke: no durable-linearizability verdict under crash" >&2
     exit 1
 }
 [ -s "$dir/flight.json" ] || {
