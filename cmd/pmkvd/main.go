@@ -6,7 +6,13 @@
 // the shard's durable-prefix watermark covers its write. Connections
 // route to shards through a pure hash — no global lock on the data path.
 //
-// Protocol: one JSON object per line.
+// Two wire protocols share the port, auto-detected per connection from
+// its first byte. A 0xB1 byte opens the pipelined binary protocol
+// (internal/proto): length-prefixed frames with client-chosen request
+// ids, up to -window requests in flight per connection, responses
+// written out of order the moment each op's shard acks it, batched into
+// single socket writes. Anything else is the original JSON line
+// protocol, one request in flight at a time:
 //
 //	-> {"op":"put","key":"user:7","value":"alice"}
 //	<- {"ok":true,"found":true}
@@ -39,6 +45,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
@@ -49,6 +56,7 @@ import (
 	"persistbarriers/internal/dlcheck"
 	"persistbarriers/internal/obs"
 	"persistbarriers/internal/pmkv"
+	"persistbarriers/internal/proto"
 	"persistbarriers/internal/sim"
 	"persistbarriers/internal/telemetry"
 	"persistbarriers/internal/wire"
@@ -65,6 +73,10 @@ func main() {
 		mailbox  = flag.Int("mailbox", 256, "per-shard request queue depth")
 		maxbatch = flag.Int("maxbatch", 64, "max requests per group commit")
 		check    = flag.Bool("check", false, "run the online durable-linearizability checker; verdict printed at drain and after every selfcheck instant")
+
+		window      = flag.Int("window", 128, "binary protocol: max in-flight requests per connection (1..4096)")
+		maxconns    = flag.Int("maxconns", 0, "max concurrent client connections (0 = unlimited)")
+		connTimeout = flag.Duration("conn-timeout", 0, "per-connection read idle timeout (0 = none)")
 
 		admin      = flag.String("admin", "", "admin HTTP address for /metrics, /statz, /debug/pprof (empty = off)")
 		flightDump = flag.String("flight-dump", "", "write the flight-recorder dump here on crash/drain (empty = off)")
@@ -103,6 +115,12 @@ func main() {
 	}
 	if *flightRing < 1 {
 		fail("-flight-ring must be >= 1, got %d", *flightRing)
+	}
+	if *window < 1 || *window > 4096 {
+		fail("-window must be in 1..4096, got %d", *window)
+	}
+	if *maxconns < 0 {
+		fail("-maxconns must be >= 0, got %d", *maxconns)
 	}
 	if *sessions < 1 {
 		fail("-sessions must be >= 1, got %d", *sessions)
@@ -148,7 +166,15 @@ func main() {
 		}
 		return
 	}
-	if err := serve(*addr, *admin, *flightDump, *flightRing, cfg); err != nil {
+	opts := serverOpts{
+		flightPath:  *flightDump,
+		flightRing:  *flightRing,
+		window:      *window,
+		maxConns:    *maxconns,
+		connTimeout: *connTimeout,
+		tracing:     *admin != "" || *flightDump != "",
+	}
+	if err := serve(*addr, *admin, cfg, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "pmkvd:", err)
 		os.Exit(1)
 	}
@@ -283,13 +309,48 @@ type shardStats struct {
 	Service obs.ServiceStats `json:"service"`
 }
 
+// serverOpts carries everything that shapes a server besides the store
+// config itself; tests build servers directly from it.
+type serverOpts struct {
+	flightPath string // where finalReport writes the flight dump ("" = off)
+	flightRing int
+	window     int // binary protocol pipeline depth per connection
+	maxConns   int // accept limit (0 = unlimited)
+	// connTimeout, when > 0, is the rolling read idle deadline: a
+	// connection that sends nothing for this long is dropped.
+	connTimeout time.Duration
+	// writeTimeout bounds each response flush so a client that stops
+	// reading cannot pin the drain (default 5s).
+	writeTimeout time.Duration
+	tracing      bool // attach the stage tracer / flight recorder
+	// out receives the drain/recovery report (default os.Stdout);
+	// benchmarks discard it so report lines don't interleave with the
+	// benchmark output being parsed downstream.
+	out io.Writer
+}
+
+func (o *serverOpts) fill() {
+	if o.window <= 0 {
+		o.window = 128
+	}
+	if o.flightRing <= 0 {
+		o.flightRing = telemetry.DefaultRing
+	}
+	if o.writeTimeout <= 0 {
+		o.writeTimeout = 5 * time.Second
+	}
+	if o.out == nil {
+		o.out = os.Stdout
+	}
+}
+
 // server glues the listener, the per-connection readers, and the sharded
 // store whose workers own all engine forward progress.
 type server struct {
 	store      *pmkv.ShardedStore
 	collectors []*obs.Collector
 	tracer     *telemetry.Tracer // nil when telemetry is off; nil-safe throughout
-	flightPath string            // where finalReport writes the flight dump ("" = off)
+	opts       serverOpts
 	ln         net.Listener
 
 	mu       sync.Mutex
@@ -299,7 +360,10 @@ type server struct {
 	wg sync.WaitGroup
 }
 
-func serve(addr, adminAddr, flightPath string, flightRing int, cfg pmkv.ShardedConfig) error {
+// newServer builds the collectors, tracer, and sharded store. The caller
+// supplies the listener (via run) so tests can serve in-process.
+func newServer(cfg pmkv.ShardedConfig, opts serverOpts) (*server, error) {
+	opts.fill()
 	collectors := make([]*obs.Collector, cfg.Shards)
 	for i := range collectors {
 		collectors[i] = obs.NewCollector(0)
@@ -307,16 +371,15 @@ func serve(addr, adminAddr, flightPath string, flightRing int, cfg pmkv.ShardedC
 	cfg.ConfigureShard = func(shard int, ecfg *pmkv.Config) {
 		ecfg.Machine.Probe = obs.NewProbe(collectors[shard])
 	}
-
 	s := &server{
 		collectors: collectors,
-		flightPath: flightPath,
+		opts:       opts,
 		conns:      make(map[net.Conn]bool),
 	}
 	// The stage tracer rides along whenever anything consumes it: the
 	// admin endpoint exposes it live, the flight dump post-mortem.
-	if adminAddr != "" || flightPath != "" {
-		s.tracer = telemetry.New(telemetry.Config{Shards: cfg.Shards, Ring: flightRing})
+	if opts.tracing {
+		s.tracer = telemetry.New(telemetry.Config{Shards: cfg.Shards, Ring: opts.flightRing})
 	}
 	// OnCrash runs on the crashing shard's worker goroutine; the drain must
 	// start elsewhere (BeginDrain waits on producers only workers unblock).
@@ -326,36 +389,22 @@ func serve(addr, adminAddr, flightPath string, flightRing int, cfg pmkv.ShardedC
 	}
 	store, err := pmkv.NewSharded(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	s.store = store
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
+	return s, nil
+}
+
+// run accepts on ln until the drain begins, then waits out every
+// connection and produces the final verified report.
+func (s *server) run(ln net.Listener) error {
+	s.mu.Lock()
 	s.ln = ln
-
-	var adminLn net.Listener
-	if adminAddr != "" {
-		adminLn, err = s.startAdmin(adminAddr)
-		if err != nil {
-			ln.Close()
-			return fmt.Errorf("admin listener: %w", err)
-		}
-		defer adminLn.Close()
-		fmt.Printf("pmkvd: admin endpoint on http://%s (/metrics /statz /debug/pprof)\n", adminLn.Addr())
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		ln.Close()
 	}
-
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
-	go func() {
-		<-sigs
-		fmt.Fprintln(os.Stderr, "pmkvd: draining...")
-		s.beginDrain()
-	}()
-
-	fmt.Printf("pmkvd: serving on %s (%d shards, %d cores each, %s barrier, %d buckets)\n",
-		ln.Addr(), cfg.Shards, cfg.Engine.Machine.Cores, cfg.Engine.Machine.BarrierName(), cfg.Engine.Buckets)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -378,11 +427,50 @@ func serve(addr, adminAddr, flightPath string, flightRing int, cfg pmkv.ShardedC
 	return s.finalReport()
 }
 
-// track registers a connection unless the server is draining.
+func serve(addr, adminAddr string, cfg pmkv.ShardedConfig, opts serverOpts) error {
+	opts.tracing = opts.tracing || adminAddr != ""
+	s, err := newServer(cfg, opts)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+
+	var adminLn net.Listener
+	if adminAddr != "" {
+		adminLn, err = s.startAdmin(adminAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("admin listener: %w", err)
+		}
+		defer adminLn.Close()
+		fmt.Printf("pmkvd: admin endpoint on http://%s (/metrics /statz /debug/pprof)\n", adminLn.Addr())
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "pmkvd: draining...")
+		s.beginDrain()
+	}()
+
+	fmt.Printf("pmkvd: serving on %s (%d shards, %d cores each, %s barrier, %d buckets)\n",
+		ln.Addr(), cfg.Shards, cfg.Engine.Machine.Cores, cfg.Engine.Machine.BarrierName(), cfg.Engine.Buckets)
+	return s.run(ln)
+}
+
+// track registers a connection unless the server is draining or the
+// -maxconns accept limit is hit.
 func (s *server) track(conn net.Conn) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
+		return false
+	}
+	if s.opts.maxConns > 0 && len(s.conns) >= s.opts.maxConns {
 		return false
 	}
 	s.conns[conn] = true
@@ -413,23 +501,61 @@ func (s *server) beginDrain() {
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
+	ln := s.ln
 	s.mu.Unlock()
-	s.ln.Close()
+	if ln != nil {
+		ln.Close()
+	}
 	s.store.BeginDrain()
 	for _, c := range conns {
 		c.SetReadDeadline(time.Now())
 	}
 }
 
-// handle runs one connection: a session whose operations execute in
-// program order on each shard. The response path is allocation-free at
-// steady state: one reused encode buffer and one bufio.Writer, both sized
-// once per connection.
+// handle runs one connection, auto-detecting its protocol from the
+// first byte: the binary request magic (0xB1, high bit set) opens the
+// pipelined path; anything else — a JSON line starts with '{' or
+// whitespace, all < 0x80 — falls through to the line protocol.
 func (s *server) handle(conn net.Conn) {
 	defer s.untrack(conn)
 	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	s.armReadDeadline(conn)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == proto.FrameRequest {
+		s.handleBinary(conn, br)
+		return
+	}
+	s.handleJSON(conn, br)
+}
+
+// armReadDeadline (re)arms the rolling idle deadline, then re-checks the
+// drain flag: beginDrain's immediate deadline must win the race against
+// a reader extending its own, or a drain could stall for a full idle
+// period.
+func (s *server) armReadDeadline(conn net.Conn) {
+	if s.opts.connTimeout <= 0 {
+		return
+	}
+	conn.SetReadDeadline(time.Now().Add(s.opts.connTimeout))
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		conn.SetReadDeadline(time.Now())
+	}
+}
+
+// handleJSON runs one JSON-line connection: a session whose operations
+// execute in program order on each shard, one request in flight at a
+// time. The response path is allocation-free at steady state: one reused
+// encode buffer and one bufio.Writer, both sized once per connection.
+func (s *server) handleJSON(conn net.Conn, br *bufio.Reader) {
 	sess := s.store.NewSession()
-	sc := bufio.NewScanner(conn)
+	sc := bufio.NewScanner(br)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	w := bufio.NewWriterSize(conn, 32<<10)
 	buf := make([]byte, 0, 4<<10)
@@ -440,7 +566,11 @@ func (s *server) handle(conn net.Conn) {
 	if s.tracer.Enabled() {
 		span = new(telemetry.Span)
 	}
-	for sc.Scan() {
+	for {
+		s.armReadDeadline(conn)
+		if !sc.Scan() {
+			return
+		}
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
@@ -535,7 +665,7 @@ func (s *server) finalReport() error {
 		// Close folds checker rejections into its error; the verdict line
 		// still prints so the smoke scripts can grep it on either path.
 		if line := dlLine(verdicts); line != "" {
-			fmt.Printf("  durable linearizability: %s\n", line)
+			fmt.Fprintf(s.opts.out, "  durable linearizability: %s\n", line)
 		}
 		return fmt.Errorf("recovery verification FAILED: %w", err)
 	}
@@ -543,7 +673,7 @@ func (s *server) finalReport() error {
 	if crashed {
 		mode = "CRASH"
 	}
-	fmt.Printf("pmkvd: %s across %d shards\n", mode, len(results))
+	fmt.Fprintf(s.opts.out, "pmkvd: %s across %d shards\n", mode, len(results))
 	fps := make([]string, len(results))
 	recovered := 0
 	for i, r := range results {
@@ -552,16 +682,16 @@ func (s *server) finalReport() error {
 		if r.Crashed {
 			shardMode = fmt.Sprintf("crashed at cycle %d", r.Cycles)
 		}
-		fmt.Printf("  shard %d: %s after %d cycles; publishes %d durable / %d total; %d keys; %d epochs persisted (p50=%d p99=%d cycles)\n",
+		fmt.Fprintf(s.opts.out, "  shard %d: %s after %d cycles; publishes %d durable / %d total; %d keys; %d epochs persisted (p50=%d p99=%d cycles)\n",
 			r.Shard, shardMode, r.Cycles, r.Report.DurablePublishes, r.Report.TotalPublishes,
 			r.Report.RecoveredKeys, st.EpochsPersisted, st.LatencyP50, st.LatencyP99)
 		fps[i] = r.Report.Fingerprint
 		recovered += r.Report.RecoveredKeys
 	}
-	fmt.Printf("  recovered keys: %d; combined fingerprint %.16s\n", recovered, pmkv.CombineFingerprints(fps))
-	fmt.Printf("  recovery invariants: OK\n")
+	fmt.Fprintf(s.opts.out, "  recovered keys: %d; combined fingerprint %.16s\n", recovered, pmkv.CombineFingerprints(fps))
+	fmt.Fprintf(s.opts.out, "  recovery invariants: OK\n")
 	if line := dlLine(verdicts); line != "" {
-		fmt.Printf("  durable linearizability: %s\n", line)
+		fmt.Fprintf(s.opts.out, "  durable linearizability: %s\n", line)
 	}
 	if err := s.flightReport(results); err != nil {
 		return err
@@ -582,12 +712,12 @@ func (s *server) flightReport(results []pmkv.ShardResult) error {
 		return nil
 	}
 	if stages := s.tracer.StageSummary(); len(stages) > 0 {
-		fmt.Printf("  stage breakdown (pooled across shards, microseconds):\n")
+		fmt.Fprintf(s.opts.out, "  stage breakdown (pooled across shards, microseconds):\n")
 		for _, st := range stages {
 			if st.Count == 0 {
 				continue
 			}
-			fmt.Printf("    %-12s n=%-8d mean=%-10.1f p50=%-10.1f p90=%-10.1f p99=%.1f\n",
+			fmt.Fprintf(s.opts.out, "    %-12s n=%-8d mean=%-10.1f p50=%-10.1f p90=%-10.1f p99=%.1f\n",
 				st.Stage, st.Count, st.MeanUS, st.P50US, st.P90US, st.P99US)
 		}
 	}
@@ -610,8 +740,8 @@ func (s *server) flightReport(results []pmkv.ShardResult) error {
 			}
 		}
 	}
-	if s.flightPath != "" {
-		f, err := os.Create(s.flightPath)
+	if s.opts.flightPath != "" {
+		f, err := os.Create(s.opts.flightPath)
 		if err != nil {
 			return fmt.Errorf("flight dump: %w", err)
 		}
@@ -624,15 +754,15 @@ func (s *server) flightReport(results []pmkv.ShardResult) error {
 		}
 	}
 	where := "not written (-flight-dump unset)"
-	if s.flightPath != "" {
-		where = s.flightPath
+	if s.opts.flightPath != "" {
+		where = s.opts.flightPath
 	}
 	if bad > 0 {
-		fmt.Printf("  flight recorder: %d events, dump %s, consistency FAILED (%d acks beyond durable prefix)\n",
+		fmt.Fprintf(s.opts.out, "  flight recorder: %d events, dump %s, consistency FAILED (%d acks beyond durable prefix)\n",
 			events, where, bad)
 		return fmt.Errorf("flight recorder: %d acked ops beyond the recovered durable prefix", bad)
 	}
-	fmt.Printf("  flight recorder: %d events, dump %s, consistency OK (acked watermarks within durable prefix)\n",
+	fmt.Fprintf(s.opts.out, "  flight recorder: %d events, dump %s, consistency OK (acked watermarks within durable prefix)\n",
 		events, where)
 	return nil
 }

@@ -1,12 +1,21 @@
 // Command pmkvload is a load generator for pmkvd: N concurrent
 // connections drive a configurable read/write/delete mix over a skewed
 // or uniform keyspace, closed-loop (each connection issues its next
-// operation the moment the previous ack lands) or open-loop at a target
+// operation the moment a pipeline slot frees) or open-loop at a target
 // aggregate rate. Because pmkvd acks mutations only when the owning
 // shard's durable-prefix watermark covers them, the measured latency is
 // durable-commit latency, not just visibility.
 //
-// Output is a throughput line plus a latency histogram summary
+// -proto picks the wire protocol: "json" is the original line protocol
+// (one op in flight per connection), "binary" the pipelined frame
+// protocol with -window requests in flight per connection and, with
+// -multi N, N-op MGET/MSET frames. Open-loop runs avoid coordinated
+// omission by scheduling ops on a fixed cadence and measuring from the
+// schedule: total latency = completion - scheduled, split into queueing
+// delay (send - scheduled: time spent blocked behind the pipe or the
+// window) and service time (completion - send: the server round trip).
+//
+// Output is a throughput line plus latency histogram summaries
 // (p50/p90/p99/p99.9/max, from power-of-two microsecond buckets merged
 // across connections); -json emits the same numbers as one JSON object
 // for scripts.
@@ -27,8 +36,11 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"persistbarriers/internal/proto"
+	"persistbarriers/internal/proto/client"
 	"persistbarriers/internal/telemetry"
 )
 
@@ -48,7 +60,41 @@ type response struct {
 	Error   string `json:"error"`
 }
 
-// connStats is one connection's tally, merged after the run.
+// latDist is one latency distribution (power-of-two microsecond
+// buckets).
+type latDist struct {
+	hist  [histBuckets]uint64
+	maxUS uint64
+	sumUS uint64
+}
+
+func (d *latDist) record(us uint64) {
+	if us > d.maxUS {
+		d.maxUS = us
+	}
+	d.sumUS += us
+	b := 0
+	for us > 0 && b < histBuckets-1 {
+		us >>= 1
+		b++
+	}
+	d.hist[b]++
+}
+
+func (d *latDist) merge(o *latDist) {
+	d.sumUS += o.sumUS
+	if o.maxUS > d.maxUS {
+		d.maxUS = o.maxUS
+	}
+	for b := range o.hist {
+		d.hist[b] += o.hist[b]
+	}
+}
+
+// connStats is one connection's tally, merged after the run. total is
+// latency from the op's scheduled instant, svc from its socket send,
+// queue the gap between the two (all equal in closed-loop JSON mode,
+// where an op is scheduled the moment it is sent).
 type connStats struct {
 	ops      uint64
 	gets     uint64
@@ -59,23 +105,15 @@ type connStats struct {
 	errors   uint64
 	crashed  uint64
 	draining uint64
-	hist     [histBuckets]uint64
-	maxUS    uint64
-	sumUS    uint64
+	total    latDist
+	svc      latDist
+	queue    latDist
 }
 
-func (c *connStats) record(lat time.Duration) {
-	us := uint64(lat.Microseconds())
-	if us > c.maxUS {
-		c.maxUS = us
-	}
-	c.sumUS += us
-	b := 0
-	for us > 0 && b < histBuckets-1 {
-		us >>= 1
-		b++
-	}
-	c.hist[b]++
+func (c *connStats) record(scheduledToDone, sendToDone, queued time.Duration) {
+	c.total.record(uint64(scheduledToDone.Microseconds()))
+	c.svc.record(uint64(sendToDone.Microseconds()))
+	c.queue.record(uint64(queued.Microseconds()))
 }
 
 func main() {
@@ -90,6 +128,9 @@ func main() {
 		delFrac  = flag.Float64("del", 0.05, "fraction of operations that are deletes")
 		valueLen = flag.Int("value", 64, "value bytes per put")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		protoF   = flag.String("proto", "json", "wire protocol: json (line, one op in flight) or binary (pipelined frames)")
+		window   = flag.Int("window", 128, "binary protocol: in-flight requests per connection")
+		multi    = flag.Int("multi", 1, "binary protocol: ops per MGET/MSET frame (1 = single-op frames)")
 		jsonOut  = flag.Bool("json", false, "emit a JSON summary instead of text")
 		admin    = flag.String("admin", "", "pmkvd admin address; scrape /statz after the run for the server-side stage breakdown")
 	)
@@ -114,6 +155,18 @@ func main() {
 	if *valueLen < 1 {
 		fail("-value must be >= 1, got %d", *valueLen)
 	}
+	if *protoF != "json" && *protoF != "binary" {
+		fail("-proto must be json or binary, got %q", *protoF)
+	}
+	if *window < 1 || *window > 4096 {
+		fail("-window must be in 1..4096, got %d", *window)
+	}
+	if *multi < 1 || *multi > proto.MaxOpsPerFrame {
+		fail("-multi must be in 1..%d, got %d", proto.MaxOpsPerFrame, *multi)
+	}
+	if *multi > 1 && *protoF != "binary" {
+		fail("-multi requires -proto binary")
+	}
 
 	// Open-loop pacing: each connection runs at rate/conns ops/sec.
 	var interval time.Duration
@@ -131,10 +184,16 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			err := runConn(*addr, i, deadline, interval, genConfig{
+			g := genConfig{
 				keys: *keys, zipf: *zipf, getFrac: *getFrac, delFrac: *delFrac,
-				valueLen: *valueLen, seed: *seed,
-			}, &stats[i])
+				valueLen: *valueLen, seed: *seed, window: *window, multi: *multi,
+			}
+			var err error
+			if *protoF == "binary" {
+				err = runBinaryConn(*addr, i, deadline, interval, g, &stats[i])
+			} else {
+				err = runJSONConn(*addr, i, deadline, interval, g, &stats[i])
+			}
 			if err != nil {
 				dialErrOnce.Do(func() { dialErr = err })
 			}
@@ -153,7 +212,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pmkvload: admin scrape: %v\n", err)
 		}
 	}
-	report(stats, elapsed, *conns, *jsonOut, stages)
+	report(stats, elapsed, *conns, *protoF, *window, *jsonOut, stages)
 }
 
 // scrapeStages pulls the pooled server-side stage breakdown from pmkvd's
@@ -185,11 +244,51 @@ type genConfig struct {
 	delFrac  float64
 	valueLen int
 	seed     int64
+	window   int
+	multi    int
 }
 
-// runConn drives one connection until the deadline, the server drains, or
-// a crash-flagged response arrives.
-func runConn(addr string, id int, deadline time.Time, interval time.Duration, g genConfig, st *connStats) error {
+// sampler is the deterministic per-connection workload source shared by
+// both protocol runners.
+type sampler struct {
+	rng     *rand.Rand
+	zipfGen *rand.Zipf
+	g       genConfig
+}
+
+func newSampler(id int, g genConfig) *sampler {
+	rng := rand.New(rand.NewSource(g.seed + int64(id)*1_000_003))
+	s := &sampler{rng: rng, g: g}
+	if g.zipf > 1 {
+		s.zipfGen = rand.NewZipf(rng, g.zipf, 1, uint64(g.keys-1))
+	}
+	return s
+}
+
+func (s *sampler) key() int {
+	if s.zipfGen != nil {
+		return int(s.zipfGen.Uint64())
+	}
+	return s.rng.Intn(s.g.keys)
+}
+
+// op returns the next operation kind: 0 get, 1 put, 2 del.
+func (s *sampler) op() int {
+	switch p := s.rng.Float64(); {
+	case p < s.g.getFrac:
+		return 0
+	case p < s.g.getFrac+s.g.delFrac:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// runJSONConn drives one JSON-line connection until the deadline, the
+// server drains, or a crash-flagged response arrives. One op is in
+// flight at a time — the write+read syscall pair per op that bounds this
+// protocol's throughput.
+func runJSONConn(addr string, id int, deadline time.Time, interval time.Duration, g genConfig, st *connStats) error {
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return fmt.Errorf("conn %d: %w", id, err)
@@ -198,35 +297,30 @@ func runConn(addr string, id int, deadline time.Time, interval time.Duration, g 
 	r := bufio.NewReaderSize(conn, 64<<10)
 	w := bufio.NewWriterSize(conn, 64<<10)
 
-	rng := rand.New(rand.NewSource(g.seed + int64(id)*1_000_003))
-	var zipfGen *rand.Zipf
-	if g.zipf > 1 {
-		zipfGen = rand.NewZipf(rng, g.zipf, 1, uint64(g.keys-1))
-	}
+	smp := newSampler(id, g)
 	value := strings.Repeat("v", g.valueLen)
 	reqBuf := make([]byte, 0, 256)
 	next := time.Now()
 
 	for time.Now().Before(deadline) {
+		// Open loop: the op is *scheduled* at its cadence tick even if the
+		// connection is still busy with the previous one — measuring from
+		// the tick keeps coordinated omission out of the numbers.
+		scheduled := time.Now()
 		if interval > 0 {
 			if d := time.Until(next); d > 0 {
 				time.Sleep(d)
 			}
+			scheduled = next
 			next = next.Add(interval)
 		}
-		var k int
-		if zipfGen != nil {
-			k = int(zipfGen.Uint64())
-		} else {
-			k = rng.Intn(g.keys)
-		}
-		key := fmt.Sprintf("k%06d", k)
+		key := fmt.Sprintf("k%06d", smp.key())
 		var req request
-		switch p := rng.Float64(); {
-		case p < g.getFrac:
+		switch smp.op() {
+		case 0:
 			req = request{Op: "get", Key: key}
 			st.gets++
-		case p < g.getFrac+g.delFrac:
+		case 2:
 			req = request{Op: "del", Key: key}
 			st.dels++
 		default:
@@ -239,7 +333,7 @@ func runConn(addr string, id int, deadline time.Time, interval time.Duration, g 
 		}
 		reqBuf = append(append(reqBuf[:0], line...), '\n')
 
-		t0 := time.Now()
+		sent := time.Now()
 		if _, err := w.Write(reqBuf); err != nil {
 			return nil // server went away mid-run: the drain races us
 		}
@@ -250,7 +344,8 @@ func runConn(addr string, id int, deadline time.Time, interval time.Duration, g 
 		if err != nil {
 			return nil
 		}
-		st.record(time.Since(t0))
+		done := time.Now()
+		st.record(done.Sub(scheduled), done.Sub(sent), sent.Sub(scheduled))
 		st.ops++
 
 		var resp response
@@ -275,6 +370,155 @@ func runConn(addr string, id int, deadline time.Time, interval time.Duration, g 
 			st.notFound++
 		}
 	}
+	return nil
+}
+
+// runBinaryConn drives one pipelined binary connection: up to g.window
+// requests in flight, completions handled out of order on the client's
+// reader goroutine. Closed loop keeps the window full; open loop
+// schedules frames on the cadence and lets the window absorb bursts,
+// with time spent blocked on a full window showing up as queueing delay.
+func runBinaryConn(addr string, id int, deadline time.Time, interval time.Duration, g genConfig, st *connStats) error {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("conn %d: %w", id, err)
+	}
+
+	// frameMeta carries what the completion handler can't recover from
+	// the response alone: the scheduled instant (open loop) and the subop
+	// count (error responses carry no results).
+	type frameMeta struct {
+		schedNS int64
+		n       uint64
+	}
+	var (
+		mu   sync.Mutex
+		meta = make(map[uint64]frameMeta, g.window)
+		stop atomic.Bool
+	)
+	openLoop := interval > 0
+
+	var c *client.Client
+	c, err = client.New(conn, client.Options{
+		Window: g.window,
+		OnComplete: func(resp *proto.Response, submitNS, sendNS int64) {
+			done := c.NowNS()
+			mu.Lock()
+			fm := meta[resp.ID]
+			delete(meta, resp.ID)
+			mu.Unlock()
+			schedNS := submitNS
+			if openLoop {
+				schedNS = fm.schedNS
+			}
+			n := fm.n
+			if n == 0 {
+				n = 1
+			}
+			// One frame = one scheduling decision and one response: its
+			// latency sample counts once per subop so multi-frame runs stay
+			// comparable op-for-op.
+			for i := uint64(0); i < n; i++ {
+				st.record(time.Duration(done-schedNS), time.Duration(done-sendNS), time.Duration(sendNS-schedNS))
+			}
+			st.ops += n
+			switch {
+			case resp.Err != "":
+				if strings.Contains(resp.Err, "draining") {
+					st.draining += n
+					stop.Store(true)
+					return
+				}
+				st.errors += n
+			case resp.Crashed:
+				st.crashed += n
+				stop.Store(true)
+			default:
+				for _, r := range resp.Results {
+					if r.Found {
+						st.found++
+					} else {
+						st.notFound++
+					}
+				}
+			}
+		},
+	})
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("conn %d: %w", id, err)
+	}
+	defer c.Close()
+
+	smp := newSampler(id, g)
+	value := make([]byte, g.valueLen)
+	for i := range value {
+		value[i] = 'v'
+	}
+	keyBuf := make([][]byte, g.multi)
+	valBuf := make([][]byte, g.multi)
+	endNS := c.NowNS() + int64(time.Until(deadline))
+	var nextNS int64
+	id64 := uint64(0)
+
+	for c.NowNS() < endNS && !stop.Load() {
+		schedNS := c.NowNS()
+		kind := smp.op()
+		frameOps := 1
+		if g.multi > 1 && kind != 2 {
+			frameOps = g.multi
+		}
+		if openLoop {
+			if d := nextNS - c.NowNS(); d > 0 {
+				time.Sleep(time.Duration(d))
+			}
+			schedNS = nextNS
+			nextNS += int64(interval) * int64(frameOps)
+		}
+		mu.Lock()
+		meta[id64] = frameMeta{schedNS: schedNS, n: uint64(frameOps)}
+		mu.Unlock()
+		var submitErr error
+		switch {
+		case frameOps > 1:
+			for j := 0; j < g.multi; j++ {
+				keyBuf[j] = []byte(fmt.Sprintf("k%06d", smp.key()))
+				valBuf[j] = value
+			}
+			if kind == 0 {
+				st.gets += uint64(g.multi)
+				submitErr = c.MGet(id64, keyBuf)
+			} else {
+				st.puts += uint64(g.multi)
+				submitErr = c.MSet(id64, keyBuf, valBuf)
+			}
+		default:
+			key := []byte(fmt.Sprintf("k%06d", smp.key()))
+			switch kind {
+			case 0:
+				st.gets++
+				submitErr = c.Get(id64, key)
+			case 2:
+				st.dels++
+				submitErr = c.Del(id64, key)
+			default:
+				st.puts++
+				submitErr = c.Put(id64, key, value)
+			}
+		}
+		if submitErr != nil {
+			return nil // transport died mid-run: the drain races us
+		}
+		id64++
+		if openLoop && nextNS-c.NowNS() > 0 {
+			// Ahead of schedule with nothing else due: push the frame out
+			// now rather than letting it sit in the write buffer.
+			if err := c.Flush(); err != nil {
+				return nil
+			}
+		}
+	}
+	c.Wait()
 	return nil
 }
 
@@ -304,13 +548,20 @@ func percentileUS(hist *[histBuckets]uint64, total uint64, p float64) uint64 {
 // summarySchemaVersion identifies the -json layout. Adding fields is
 // backward compatible; bump this when a field is renamed, removed, or
 // changes meaning. TestSummarySchemaLocked pins the current set.
-const summarySchemaVersion = 2
+//
+// v3: mean/p*/max now measure from each op's *scheduled* instant
+// (coordinated-omission-corrected in open-loop runs; unchanged closed
+// loop), split into svc_* (send -> completion) and queue_* (scheduled ->
+// send); adds proto and window.
+const summarySchemaVersion = 3
 
 // Summary is the -json output: the client-side tallies plus, when -admin
 // was given, the server-side per-stage breakdown for the same run.
 type Summary struct {
 	SchemaVersion int     `json:"schema_version"`
 	Conns         int     `json:"conns"`
+	Proto         string  `json:"proto"`
+	Window        int     `json:"window"`
 	ElapsedSec    float64 `json:"elapsed_sec"`
 	Ops           uint64  `json:"ops"`
 	OpsPerSec     float64 `json:"ops_per_sec"`
@@ -328,11 +579,31 @@ type Summary struct {
 	P99US         uint64  `json:"p99_us"`
 	P999US        uint64  `json:"p999_us"`
 	MaxUS         uint64  `json:"max_us"`
+	SvcMeanUS     uint64  `json:"svc_mean_us"`
+	SvcP50US      uint64  `json:"svc_p50_us"`
+	SvcP90US      uint64  `json:"svc_p90_us"`
+	SvcP99US      uint64  `json:"svc_p99_us"`
+	SvcP999US     uint64  `json:"svc_p999_us"`
+	SvcMaxUS      uint64  `json:"svc_max_us"`
+	QueueMeanUS   uint64  `json:"queue_mean_us"`
+	QueueP50US    uint64  `json:"queue_p50_us"`
+	QueueP99US    uint64  `json:"queue_p99_us"`
+	QueueMaxUS    uint64  `json:"queue_max_us"`
 
 	ServerStages []telemetry.StageStats `json:"server_stages,omitempty"`
 }
 
-func report(stats []connStats, elapsed time.Duration, conns int, jsonOut bool, stages []telemetry.StageStats) {
+// distSummary folds one latency distribution into (mean, p50, p90, p99,
+// p99.9) microseconds.
+func distSummary(d *latDist, ops uint64) (mean, p50, p90, p99, p999 uint64) {
+	if ops > 0 {
+		mean = d.sumUS / ops
+	}
+	return mean, percentileUS(&d.hist, ops, 0.50), percentileUS(&d.hist, ops, 0.90),
+		percentileUS(&d.hist, ops, 0.99), percentileUS(&d.hist, ops, 0.999)
+}
+
+func report(stats []connStats, elapsed time.Duration, conns int, protoName string, window int, jsonOut bool, stages []telemetry.StageStats) {
 	var total connStats
 	for i := range stats {
 		s := &stats[i]
@@ -345,28 +616,24 @@ func report(stats []connStats, elapsed time.Duration, conns int, jsonOut bool, s
 		total.errors += s.errors
 		total.crashed += s.crashed
 		total.draining += s.draining
-		total.sumUS += s.sumUS
-		if s.maxUS > total.maxUS {
-			total.maxUS = s.maxUS
-		}
-		for b := range s.hist {
-			total.hist[b] += s.hist[b]
-		}
+		total.total.merge(&s.total)
+		total.svc.merge(&s.svc)
+		total.queue.merge(&s.queue)
 	}
 	opsPerSec := float64(total.ops) / elapsed.Seconds()
-	p50 := percentileUS(&total.hist, total.ops, 0.50)
-	p90 := percentileUS(&total.hist, total.ops, 0.90)
-	p99 := percentileUS(&total.hist, total.ops, 0.99)
-	p999 := percentileUS(&total.hist, total.ops, 0.999)
-	var meanUS uint64
-	if total.ops > 0 {
-		meanUS = total.sumUS / total.ops
+	mean, p50, p90, p99, p999 := distSummary(&total.total, total.ops)
+	svcMean, svcP50, svcP90, svcP99, svcP999 := distSummary(&total.svc, total.ops)
+	qMean, qP50, _, qP99, _ := distSummary(&total.queue, total.ops)
+	if protoName == "json" {
+		window = 1 // one op in flight by construction
 	}
 
 	if jsonOut {
 		out := Summary{
 			SchemaVersion: summarySchemaVersion,
 			Conns:         conns,
+			Proto:         protoName,
+			Window:        window,
 			ElapsedSec:    elapsed.Seconds(),
 			Ops:           total.ops,
 			OpsPerSec:     opsPerSec,
@@ -378,24 +645,36 @@ func report(stats []connStats, elapsed time.Duration, conns int, jsonOut bool, s
 			Errors:        total.errors,
 			Crashed:       total.crashed,
 			Draining:      total.draining,
-			MeanUS:        meanUS,
+			MeanUS:        mean,
 			P50US:         p50,
 			P90US:         p90,
 			P99US:         p99,
 			P999US:        p999,
-			MaxUS:         total.maxUS,
+			MaxUS:         total.total.maxUS,
+			SvcMeanUS:     svcMean,
+			SvcP50US:      svcP50,
+			SvcP90US:      svcP90,
+			SvcP99US:      svcP99,
+			SvcP999US:     svcP999,
+			SvcMaxUS:      total.svc.maxUS,
+			QueueMeanUS:   qMean,
+			QueueP50US:    qP50,
+			QueueP99US:    qP99,
+			QueueMaxUS:    total.queue.maxUS,
 			ServerStages:  stages,
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.Encode(out)
 		return
 	}
-	fmt.Printf("pmkvload: %d conns, %.1fs: %d ops (%.1f ops/sec), %d get / %d put / %d del\n",
-		conns, elapsed.Seconds(), total.ops, opsPerSec, total.gets, total.puts, total.dels)
+	fmt.Printf("pmkvload: %d conns (%s, window %d), %.1fs: %d ops (%.1f ops/sec), %d get / %d put / %d del\n",
+		conns, protoName, window, elapsed.Seconds(), total.ops, opsPerSec, total.gets, total.puts, total.dels)
 	fmt.Printf("  found %d, not-found %d, errors %d, crashed %d, draining %d\n",
 		total.found, total.notFound, total.errors, total.crashed, total.draining)
 	fmt.Printf("  latency (us, bucket upper bounds): mean=%d p50=%d p90=%d p99=%d p99.9=%d max=%d\n",
-		meanUS, p50, p90, p99, p999, total.maxUS)
+		mean, p50, p90, p99, p999, total.total.maxUS)
+	fmt.Printf("  service (us): mean=%d p50=%d p90=%d p99=%d p99.9=%d max=%d; queueing: mean=%d p50=%d p99=%d max=%d\n",
+		svcMean, svcP50, svcP90, svcP99, svcP999, total.svc.maxUS, qMean, qP50, qP99, total.queue.maxUS)
 	if len(stages) > 0 {
 		fmt.Printf("  server stages (us): ")
 		for i, st := range stages {

@@ -28,10 +28,14 @@ func TestSummarySchemaLocked(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []string{
-		"schema_version", "conns", "elapsed_sec", "ops", "ops_per_sec",
-		"gets", "puts", "dels", "found", "not_found", "errors", "crashed",
-		"draining", "mean_us", "p50_us", "p90_us", "p99_us", "p999_us",
-		"max_us", "server_stages",
+		"schema_version", "conns", "proto", "window", "elapsed_sec", "ops",
+		"ops_per_sec", "gets", "puts", "dels", "found", "not_found", "errors",
+		"crashed", "draining", "mean_us", "p50_us", "p90_us", "p99_us",
+		"p999_us", "max_us",
+		"svc_mean_us", "svc_p50_us", "svc_p90_us", "svc_p99_us",
+		"svc_p999_us", "svc_max_us",
+		"queue_mean_us", "queue_p50_us", "queue_p99_us", "queue_max_us",
+		"server_stages",
 	}
 	got := make([]string, 0, len(m))
 	for k := range m {
@@ -45,8 +49,8 @@ func TestSummarySchemaLocked(t *testing.T) {
 	}
 
 	var ver int
-	if err := json.Unmarshal(m["schema_version"], &ver); err != nil || ver != 2 {
-		t.Fatalf("schema_version = %s, want 2", m["schema_version"])
+	if err := json.Unmarshal(m["schema_version"], &ver); err != nil || ver != 3 {
+		t.Fatalf("schema_version = %s, want 3", m["schema_version"])
 	}
 
 	var stages []map[string]json.RawMessage

@@ -28,6 +28,9 @@ const MaxShards = 256
 // be) durable before the recovery snapshot is taken.
 var ErrDraining = fmt.Errorf("pmkv: store draining")
 
+// errNoSession reports a request routed without a session handle.
+var errNoSession = fmt.Errorf("pmkv: request without session")
+
 // shardHash is the router hash: FNV-1a strengthened with a splitmix64
 // finalizer so shard choice decorrelates from the engines' bucket hash
 // (both start from raw FNV-1a). It is a pure function of the key bytes —
@@ -114,14 +117,36 @@ type ShardAck struct {
 	Err     error
 }
 
+// Completion pairs a ShardAck with the caller-chosen tag that routed it,
+// for async delivery to a shared completion queue: a pipelined server
+// keys each in-flight request by tag and matches acks out of order, the
+// same way the wire protocol keys responses by request id.
+type Completion struct {
+	Tag uint64
+	Ack ShardAck
+}
+
 type shardJob struct {
-	req   Request
-	reply chan ShardAck
+	req Request
+	// done receives exactly one Completion carrying tag. Shard workers
+	// deliver with a plain channel send and must never block on a slow
+	// consumer, so the caller guarantees free capacity for every
+	// outstanding request it has routed to done (DoSpan uses a private
+	// one-slot channel; pipelined servers bound in-flight requests by the
+	// queue's capacity).
+	done chan<- Completion
+	tag  uint64
 	// span, when non-nil, is the caller-owned telemetry record the
 	// pipeline stamps as the job moves through mailbox, translate,
 	// retirement, and the durable watermark. A nil span costs one branch
 	// per stamp site.
 	span *telemetry.Span
+}
+
+// deliver sends the job's completion. See shardJob.done for why this
+// must never block in practice.
+func (j *shardJob) deliver(a ShardAck) {
+	j.done <- Completion{Tag: j.tag, Ack: a}
 }
 
 // shard is one partition: an engine, its mailbox, and its worker state.
@@ -223,27 +248,51 @@ func (s *ShardedStore) Do(sess *ShardedSession, op Op, key string, value []byte)
 // translate, submit, and durable-watermark as the request moves through
 // its pipeline. span may be nil (then DoSpan is exactly Do).
 func (s *ShardedStore) DoSpan(sess *ShardedSession, op Op, key string, value []byte, span *telemetry.Span) ShardAck {
+	done := make(chan Completion, 1)
+	shard, err := s.DoAsync(sess, op, key, value, span, 0, done)
+	if err != nil {
+		return ShardAck{Shard: shard, Err: err}
+	}
+	return (<-done).Ack
+}
+
+// DoAsync routes one request to its key's shard and returns immediately;
+// the ack is delivered later to done as a Completion carrying tag, from
+// the shard worker, at whichever of the ack-release sites fires first
+// (durable watermark, crash delivery, or engine error). The returned
+// shard id is valid even on error (-1 only when sess is nil).
+//
+// done is the caller's completion queue. The shard worker's send is
+// unconditional, so the caller must guarantee capacity: never have more
+// requests outstanding against done than its free buffer slots. A
+// pipelined connection enforces this with a window semaphore sized to
+// the queue.
+//
+// An error return (ErrDraining, nil session) means the request was NOT
+// routed and no completion will arrive for it.
+func (s *ShardedStore) DoAsync(sess *ShardedSession, op Op, key string, value []byte, span *telemetry.Span, tag uint64, done chan<- Completion) (int, error) {
 	if sess == nil {
-		return ShardAck{Err: fmt.Errorf("pmkv: request without session")}
+		return -1, errNoSession
 	}
 	id := ShardOf(key, len(s.shards))
 	span.Stamp(telemetry.StageShardRoute)
 	sh := s.shards[id]
 	j := shardJob{
-		req:   Request{Sess: sess.per[id], Op: op, Key: key, Value: value},
-		reply: make(chan ShardAck, 1),
-		span:  span,
+		req:  Request{Sess: sess.per[id], Op: op, Key: key, Value: value},
+		done: done,
+		tag:  tag,
+		span: span,
 	}
 	sh.subMu.RLock()
 	if !sh.open {
 		sh.subMu.RUnlock()
-		return ShardAck{Shard: id, Err: ErrDraining}
+		return id, ErrDraining
 	}
 	sh.mail <- j
 	sh.enq.Add(1)
 	sh.subMu.RUnlock()
 	span.Stamp(telemetry.StageEnqueue)
-	return <-j.reply
+	return id, nil
 }
 
 // pendingBatch is a group commit whose ops have retired (responses known)
@@ -320,7 +369,7 @@ func (s *ShardedStore) runShard(sh *shard) {
 				sh.eng.DL().AckDurable(p.target)
 				for i, j := range p.jobs {
 					j.span.StampAt(telemetry.StageDurable, cycle)
-					j.reply <- ShardAck{Resp: p.resps[i], Shard: sh.id, Durable: durable}
+					j.deliver(ShardAck{Resp: p.resps[i], Shard: sh.id, Durable: durable})
 				}
 			}
 			if len(pending) > 0 && !open && sh.eng.Quiesced() {
@@ -333,7 +382,7 @@ func (s *ShardedStore) runShard(sh *shard) {
 					sh.eng.DL().AckDurable(p.target)
 					for i, j := range p.jobs {
 						j.span.StampAt(telemetry.StageDurable, cycle)
-						j.reply <- ShardAck{Resp: p.resps[i], Shard: sh.id, Durable: durable}
+						j.deliver(ShardAck{Resp: p.resps[i], Shard: sh.id, Durable: durable})
 					}
 				}
 				pending = nil
@@ -376,18 +425,18 @@ func (s *ShardedStore) commit(sh *shard, batch []shardJob, pending []pendingBatc
 			if len(resps) == len(batch) {
 				for i, j := range batch {
 					j.span.StampAt(telemetry.StageDurable, cycle)
-					j.reply <- ShardAck{Resp: resps[i], Shard: sh.id, Crashed: true}
+					j.deliver(ShardAck{Resp: resps[i], Shard: sh.id, Crashed: true})
 				}
 			} else {
 				for _, j := range batch {
-					j.reply <- ShardAck{Shard: sh.id, Err: ErrCrashed}
+					j.deliver(ShardAck{Shard: sh.id, Err: ErrCrashed})
 				}
 			}
 		})
 		return nil
 	default:
 		for _, j := range batch {
-			j.reply <- ShardAck{Shard: sh.id, Err: err}
+			j.deliver(ShardAck{Shard: sh.id, Err: err})
 		}
 		return pending
 	}
@@ -400,7 +449,7 @@ func (s *ShardedStore) crash(sh *shard, pending *[]pendingBatch, deliver func())
 	for _, p := range *pending {
 		for i, j := range p.jobs {
 			j.span.StampAt(telemetry.StageDurable, cycle)
-			j.reply <- ShardAck{Resp: p.resps[i], Shard: sh.id, Crashed: true}
+			j.deliver(ShardAck{Resp: p.resps[i], Shard: sh.id, Crashed: true})
 		}
 	}
 	*pending = nil

@@ -540,3 +540,62 @@ func TestDoSpanStampsPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDoAsyncPipelining drives a window of async requests through one
+// shared completion queue and matches acks back by tag — the access
+// pattern of a pipelined server connection. Every submitted op must
+// complete exactly once, durably, and the final state must reflect all
+// of them.
+func TestDoAsyncPipelining(t *testing.T) {
+	store, err := NewSharded(ShardedConfig{Shards: 2, MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := store.NewSession()
+
+	const window = 32
+	done := make(chan Completion, window)
+	for tag := uint64(0); tag < window; tag++ {
+		key := fmt.Sprintf("async-%d", tag)
+		if _, err := store.DoAsync(sess, Put, key, []byte(key), nil, tag, done); err != nil {
+			t.Fatalf("DoAsync(%d): %v", tag, err)
+		}
+	}
+
+	seen := make(map[uint64]bool)
+	for i := 0; i < window; i++ {
+		c := <-done
+		if seen[c.Tag] {
+			t.Fatalf("tag %d completed twice", c.Tag)
+		}
+		seen[c.Tag] = true
+		if c.Ack.Err != nil || c.Ack.Crashed {
+			t.Fatalf("tag %d ack: %+v", c.Tag, c.Ack)
+		}
+		if c.Ack.Durable < 1 {
+			t.Fatalf("tag %d released before its durable watermark: %+v", c.Tag, c.Ack)
+		}
+	}
+
+	// No routing, no completion: a nil session fails synchronously.
+	if _, err := store.DoAsync(nil, Get, "x", nil, nil, 99, done); err == nil {
+		t.Fatal("DoAsync with nil session did not fail")
+	}
+
+	results, err := store.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := MergeRecovered(results)
+	for tag := uint64(0); tag < window; tag++ {
+		key := fmt.Sprintf("async-%d", tag)
+		if string(recovered[key]) != key {
+			t.Fatalf("recovered[%q] = %q (acked async write lost)", key, recovered[key])
+		}
+	}
+
+	// After Close the drain refuses new async submissions synchronously.
+	if _, err := store.DoAsync(sess, Put, "late", nil, nil, 100, done); err != ErrDraining {
+		t.Fatalf("post-drain DoAsync err = %v, want ErrDraining", err)
+	}
+}

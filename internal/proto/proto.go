@@ -1,0 +1,149 @@
+// Package proto is pmkvd's pipelined binary wire protocol: length-
+// prefixed frames carrying client-chosen request ids, so one connection
+// can keep many requests in flight and receive their responses out of
+// order — the transport analogue of the paper's pipelined epochs, which
+// overlap the persist latency of batch k with the execution of batch
+// k+1. The JSON line protocol costs a write+read syscall pair per
+// operation and bounds any connection to one in-flight request; this
+// protocol amortizes both: requests batch into one socket write, and a
+// response is keyed by id rather than by position, so the server acks
+// each operation the moment its shard's durable watermark covers it.
+//
+// Frame layout (all integers little-endian):
+//
+//	frame    := magic(1) | len(4) | payload(len)
+//	magic    =  0xB1 request, 0xB2 response
+//
+//	request  := id(8) | opcode(1) | body
+//	  GET  (1): klen(2) key
+//	  PUT  (2): klen(2) key vlen(4) value
+//	  DEL  (3): klen(2) key
+//	  MGET (4): n(2) n x ( klen(2) key )
+//	  MSET (5): n(2) n x ( klen(2) key vlen(4) value )
+//
+//	response := id(8) | flags(1) | body
+//	  flags: 0x01 OK, 0x02 crashed, 0x04 error, 0x08 multi
+//	  error body : elen(2) message            (flags has 0x04)
+//	  single body: rflags(1) [ vlen(4) value ] (one op)
+//	  multi body : n(2) n x ( rflags(1) [ vlen(4) value ] )
+//	  rflags: 0x01 found, 0x02 value follows
+//
+// The request magic has its high bit set, so the first byte of a binary
+// connection is distinguishable from any JSON line ('{' = 0x7B or
+// whitespace): pmkvd auto-detects the protocol per connection by peeking
+// one byte, and JSON-line clients keep working unchanged.
+//
+// The decoder and encoder are zero-allocation at steady state: parsing
+// sub-slices the frame payload into caller-reused key/value slice
+// headers, and encoding appends into a caller-owned buffer — both
+// guarded by AllocsPerRun tests, the same discipline as internal/wire's
+// JSON response encoder.
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Frame magics. FrameRequest's high bit doubles as the protocol
+// auto-detection signal.
+const (
+	FrameRequest  byte = 0xB1
+	FrameResponse byte = 0xB2
+)
+
+// Opcode enumerates request operations.
+type Opcode uint8
+
+const (
+	OpGet  Opcode = 1
+	OpPut  Opcode = 2
+	OpDel  Opcode = 3
+	OpMGet Opcode = 4
+	OpMSet Opcode = 5
+)
+
+// String implements fmt.Stringer (the names match the JSON protocol's op
+// strings for the tracer's Meta.Op field).
+func (o Opcode) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDel:
+		return "del"
+	case OpMGet:
+		return "mget"
+	case OpMSet:
+		return "mset"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Multi reports whether the opcode carries multiple keyed operations.
+func (o Opcode) Multi() bool { return o == OpMGet || o == OpMSet }
+
+// Wire limits. Violations are protocol errors: the peer is malformed or
+// hostile, and the connection should be closed.
+const (
+	// MaxKey bounds one key (the u16 length field's ceiling).
+	MaxKey = 1<<16 - 1
+	// MaxValue bounds one value.
+	MaxValue = 1 << 20
+	// MaxOpsPerFrame bounds MGET/MSET fan-out.
+	MaxOpsPerFrame = 1024
+	// MaxPayload bounds one frame's payload.
+	MaxPayload = 1 << 24
+)
+
+// Response flag bits.
+const (
+	flagOK      = 0x01
+	flagCrashed = 0x02
+	flagError   = 0x04
+	flagMulti   = 0x08
+
+	rflagFound = 0x01
+	rflagValue = 0x02
+)
+
+// Request is one decoded request frame. Keys and Vals are parallel:
+// Vals[i] is nil for ops that carry no value (GET/DEL/MGET). The slices
+// sub-slice the frame payload — they are valid only until the payload
+// buffer is reused — and their backing arrays are reused across
+// ParseRequest calls on the same Request, so steady-state decoding does
+// not allocate.
+type Request struct {
+	ID   uint64
+	Op   Opcode
+	Keys [][]byte
+	Vals [][]byte
+}
+
+// Result is one operation's outcome inside a response.
+type Result struct {
+	Found bool
+	// HasValue reports whether a value field follows (GET hits). It
+	// mirrors the JSON protocol's omitempty: an empty value is encoded as
+	// absent.
+	HasValue bool
+	Value    []byte
+}
+
+// Response is one decoded (or to-be-encoded) response frame. When Err is
+// non-empty the response is an error reply and Results is ignored; when
+// Multi is set Results holds one entry per requested op; otherwise
+// Results[0] answers the single op.
+type Response struct {
+	ID      uint64
+	OK      bool
+	Crashed bool
+	Multi   bool
+	Err     string
+	Results []Result
+}
+
+// le is the wire byte order.
+var le = binary.LittleEndian

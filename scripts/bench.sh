@@ -5,9 +5,9 @@
 #
 #   -quick            run only the headline benchmarks (Fig4 kernel,
 #                     simulator core, machine construction, pmkv shard
-#                     scaling) — the CI gate
+#                     scaling, wire-protocol pipeline) — the CI gate
 #   -out FILE         where to write the aggregated JSON
-#                     (default BENCH_PR5.json)
+#                     (default BENCH_PR8.json)
 #   -compare BASELINE also compare against a committed baseline JSON and
 #                     fail on >10% ns/op regression (see cmd/benchjson)
 #   -count N          runs per benchmark (default 7 quick / 5 full)
@@ -23,7 +23,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=0
-out=BENCH_PR5.json
+out=BENCH_PR8.json
 compare=""
 count=""
 while [ $# -gt 0 ]; do
@@ -59,6 +59,13 @@ if [ "$quick" = 0 ]; then
     go test -run '^$' -bench '.' -benchmem -benchtime 1x -count "${count:-5}" . | tee "$tmp"
 fi
 go test -run '^$' -bench "$headline" -benchmem -benchtime 20x -count "$hcount" . | tee -a "$tmp"
+
+# Live wire-protocol pipeline: a loopback server per sub-benchmark, JSON
+# line protocol vs pipelined binary at several windows. Fixed iteration
+# counts (not duration targeting) keep the per-run drain/recovery cost
+# bounded; 3 repeats give cmd/benchjson a median.
+go test -run '^$' -bench '^BenchmarkProtoPipeline$' -benchtime 2000x \
+    -count "${count:-3}" ./cmd/pmkvd | tee -a "$tmp"
 
 args=(-out "$out")
 if [ -n "$compare" ]; then

@@ -13,7 +13,10 @@
 #
 # Both phases run with -check, so the online durable-linearizability
 # verdict line must appear — under a clean SIGTERM drain first, then
-# under the injected crash.
+# under the injected crash. Each phase drives BOTH wire protocols at
+# once: a JSON-line loader and a pipelined binary loader (-proto binary)
+# share the server, so protocol auto-detection, the pipelined completion
+# path, and the drain/crash handling are all exercised together.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,7 +35,10 @@ go build -o "$dir/promcheck" ./cmd/promcheck
 "$dir/pmkvd" -addr "$addr" -shards 4 -check >"$dir/pmkvd-clean.log" 2>&1 &
 pid=$!
 sleep 1
-"$dir/pmkvload" -addr "$addr" -conns 4 -rate 300 -duration 2s
+"$dir/pmkvload" -addr "$addr" -conns 2 -rate 150 -duration 2s &
+jsonload=$!
+"$dir/pmkvload" -addr "$addr" -proto binary -window 32 -conns 2 -rate 150 -duration 2s
+wait "$jsonload"
 kill -TERM "$pid"
 for _ in $(seq 1 120); do
     kill -0 "$pid" 2>/dev/null || break
@@ -59,7 +65,10 @@ grep -q "durable linearizability: OK" "$dir/pmkvd-clean.log" || {
 pid=$!
 sleep 1
 
-"$dir/pmkvload" -addr "$addr" -conns 8 -rate 400 -duration 5s -admin "$admin" &
+"$dir/pmkvload" -addr "$addr" -conns 4 -rate 200 -duration 5s &
+jsonload=$!
+"$dir/pmkvload" -addr "$addr" -proto binary -window 32 -multi 2 \
+    -conns 4 -rate 200 -duration 5s -admin "$admin" &
 loadpid=$!
 
 # Mid-run: scrape the live exposition and assert it parses.
@@ -83,6 +92,7 @@ grep -q '"stages"' "$dir/statz.json" || {
 }
 
 wait "$loadpid"
+wait "$jsonload"
 
 # The crash fires mid-load and the server drains itself; wait for exit.
 for _ in $(seq 1 120); do
