@@ -258,6 +258,60 @@ func itoa(v int) string {
 	return string(buf[i:])
 }
 
+// BenchmarkEngineOpCost measures the per-operation cost of the engine's
+// group-commit path (SubmitAppend + PumpRetire) as the batch width
+// grows. Wider batches amortize the fixed pump cost over more ops, and
+// -benchmem exposes the zero-alloc submit layer: allocs/op must stay
+// far below one per logical operation.
+func BenchmarkEngineOpCost(b *testing.B) {
+	for _, batchLen := range []int{1, 16, 64, 256} {
+		b.Run("batch="+itoa(batchLen), func(b *testing.B) {
+			e, err := pmkv.New(pmkv.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sessions := make([]*pmkv.Session, 4)
+			for i := range sessions {
+				sessions[i] = e.NewSession()
+			}
+			val := make([]byte, 64)
+			batch := make([]pmkv.Request, batchLen)
+			for i := range batch {
+				batch[i] = pmkv.Request{
+					Sess:  sessions[i%len(sessions)],
+					Op:    pmkv.Put,
+					Key:   "oc" + itoa(i%32),
+					Value: val,
+				}
+			}
+			resps := make([]pmkv.Response, 0, batchLen)
+			// Warm up arenas and op buffers before the measured runs.
+			for i := 0; i < 4; i++ {
+				if resps, err = e.SubmitAppend(resps[:0], batch); err != nil {
+					b.Fatal(err)
+				}
+				if err := e.PumpRetire(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if resps, err = e.SubmitAppend(resps[:0], batch); err != nil {
+					b.Fatal(err)
+				}
+				if err := e.PumpRetire(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(batchLen)*float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+			if _, err := e.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // BenchmarkPmkvShardScaling measures aggregate pmkv throughput as the
 // keyspace is partitioned across independent shard machines. Each
 // iteration replays the same deterministic scripted workload (so the

@@ -164,6 +164,8 @@ func (s *server) renderMetrics(dst []byte) []byte {
 			func(m pmkv.ShardMetrics) float64 { return float64(m.Batches) }},
 		{"pmkv_shard_avg_batch", "Mean requests per group commit.",
 			func(m pmkv.ShardMetrics) float64 { return m.AvgBatch }},
+		{"pmkv_shard_batch_limit", "Live adaptive batch-size limit.",
+			func(m pmkv.ShardMetrics) float64 { return float64(m.BatchLimit) }},
 	}
 	for _, g := range gauges {
 		typ := "gauge"
@@ -174,6 +176,13 @@ func (s *server) renderMetrics(dst []byte) []byte {
 		for _, m := range metrics {
 			dst = telemetry.AppendSample(dst, g.name, shardLabel(m.Shard), g.value(m))
 		}
+	}
+
+	dst = telemetry.AppendMetricHeader(dst, "pmkv_shard_batch_size", "histogram",
+		"Requests per group commit, per shard.")
+	for _, m := range metrics {
+		dst = telemetry.AppendHistogram(dst, "pmkv_shard_batch_size",
+			shardLabel(m.Shard), m.BatchSizes, 1)
 	}
 	return dst
 }

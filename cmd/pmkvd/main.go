@@ -72,6 +72,9 @@ func main() {
 		crashAt  = flag.Uint64("crash-at", 0, "simulated power loss at this cycle of each shard's clock (0 = never)")
 		mailbox  = flag.Int("mailbox", 256, "per-shard request queue depth")
 		maxbatch = flag.Int("maxbatch", 64, "max requests per group commit")
+		minbatch = flag.Int("minbatch", 8, "floor of the adaptive group-commit size (clamped to -maxbatch)")
+		inflight = flag.Int("inflight", 2, "translated batches fed per retire pump (1..8; 1 disables pipelining)")
+		recwork  = flag.Int("recovery-workers", 0, "parallel recovery-replay workers per shard (0 = GOMAXPROCS, 1 = serial)")
 		check    = flag.Bool("check", false, "run the online durable-linearizability checker; verdict printed at drain and after every selfcheck instant")
 
 		window      = flag.Int("window", 128, "binary protocol: max in-flight requests per connection (1..4096)")
@@ -110,6 +113,15 @@ func main() {
 	if *maxbatch < 1 {
 		fail("-maxbatch must be >= 1, got %d", *maxbatch)
 	}
+	if *minbatch < 1 {
+		fail("-minbatch must be >= 1, got %d", *minbatch)
+	}
+	if *inflight < 1 || *inflight > 8 {
+		fail("-inflight must be in 1..8, got %d", *inflight)
+	}
+	if *recwork < 0 {
+		fail("-recovery-workers must be >= 0, got %d", *recwork)
+	}
 	if *selfcheck < 0 {
 		fail("-selfcheck must be >= 0, got %d", *selfcheck)
 	}
@@ -137,14 +149,17 @@ func main() {
 	cfg := pmkv.ShardedConfig{
 		Shards: *shards,
 		Engine: pmkv.Config{
-			Machine:  mcfg,
-			Buckets:  *buckets,
-			BatchGap: sim.Cycle(*gap),
-			CrashAt:  sim.Cycle(*crashAt),
-			Check:    *check,
+			Machine:         mcfg,
+			Buckets:         *buckets,
+			BatchGap:        sim.Cycle(*gap),
+			CrashAt:         sim.Cycle(*crashAt),
+			Check:           *check,
+			RecoveryWorkers: *recwork,
 		},
-		Mailbox:  *mailbox,
-		MaxBatch: *maxbatch,
+		Mailbox:     *mailbox,
+		MaxBatch:    *maxbatch,
+		MinBatch:    *minbatch,
+		MaxInFlight: *inflight,
 	}
 	spec := pmkv.ScriptSpec{
 		Sessions: *sessions,

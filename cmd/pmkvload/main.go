@@ -206,35 +206,49 @@ func main() {
 	}
 
 	var stages []telemetry.StageStats
+	var shards []ServerShard
 	if *admin != "" {
 		var err error
-		if stages, err = scrapeStages(*admin); err != nil {
+		if stages, shards, err = scrapeStages(*admin); err != nil {
 			fmt.Fprintf(os.Stderr, "pmkvload: admin scrape: %v\n", err)
 		}
 	}
-	report(stats, elapsed, *conns, *protoF, *window, *jsonOut, stages)
+	report(stats, elapsed, *conns, *protoF, *window, *jsonOut, stages, shards)
 }
 
-// scrapeStages pulls the pooled server-side stage breakdown from pmkvd's
-// admin /statz endpoint, attributing the client-observed latency to
-// pipeline segments measured inside the server.
-func scrapeStages(admin string) ([]telemetry.StageStats, error) {
+// ServerShard is the per-shard commit-pipeline view scraped from /statz
+// and carried into the -json summary: how the server actually batched
+// this run's requests.
+type ServerShard struct {
+	Shard      int     `json:"shard"`
+	QueueDepth int     `json:"queue_depth"`
+	Batches    uint64  `json:"batches"`
+	AvgBatch   float64 `json:"avg_batch"`
+	BatchLimit int     `json:"batch_limit"`
+}
+
+// scrapeStages pulls the pooled server-side stage breakdown and the
+// per-shard pipeline counters from pmkvd's admin /statz endpoint,
+// attributing the client-observed latency to pipeline segments measured
+// inside the server.
+func scrapeStages(admin string) ([]telemetry.StageStats, []ServerShard, error) {
 	client := &http.Client{Timeout: 5 * time.Second}
 	resp, err := client.Get("http://" + admin + "/statz")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("/statz: %s", resp.Status)
+		return nil, nil, fmt.Errorf("/statz: %s", resp.Status)
 	}
 	var statz struct {
 		Stages []telemetry.StageStats `json:"stages"`
+		Shards []ServerShard          `json:"shards"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&statz); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return statz.Stages, nil
+	return statz.Stages, statz.Shards, nil
 }
 
 type genConfig struct {
@@ -591,6 +605,7 @@ type Summary struct {
 	QueueMaxUS    uint64  `json:"queue_max_us"`
 
 	ServerStages []telemetry.StageStats `json:"server_stages,omitempty"`
+	ServerShards []ServerShard          `json:"server_shards,omitempty"`
 }
 
 // distSummary folds one latency distribution into (mean, p50, p90, p99,
@@ -603,7 +618,7 @@ func distSummary(d *latDist, ops uint64) (mean, p50, p90, p99, p999 uint64) {
 		percentileUS(&d.hist, ops, 0.99), percentileUS(&d.hist, ops, 0.999)
 }
 
-func report(stats []connStats, elapsed time.Duration, conns int, protoName string, window int, jsonOut bool, stages []telemetry.StageStats) {
+func report(stats []connStats, elapsed time.Duration, conns int, protoName string, window int, jsonOut bool, stages []telemetry.StageStats, shards []ServerShard) {
 	var total connStats
 	for i := range stats {
 		s := &stats[i]
@@ -662,6 +677,7 @@ func report(stats []connStats, elapsed time.Duration, conns int, protoName strin
 			QueueP99US:    qP99,
 			QueueMaxUS:    total.queue.maxUS,
 			ServerStages:  stages,
+			ServerShards:  shards,
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.Encode(out)
@@ -682,6 +698,16 @@ func report(stats []connStats, elapsed time.Duration, conns int, protoName strin
 				fmt.Printf(" | ")
 			}
 			fmt.Printf("%s p50=%.1f p99=%.1f", st.Stage, st.P50US, st.P99US)
+		}
+		fmt.Println()
+	}
+	if len(shards) > 0 {
+		fmt.Printf("  server shards: ")
+		for i, sh := range shards {
+			if i > 0 {
+				fmt.Printf(" | ")
+			}
+			fmt.Printf("%d: %d batches avg=%.1f limit=%d", sh.Shard, sh.Batches, sh.AvgBatch, sh.BatchLimit)
 		}
 		fmt.Println()
 	}

@@ -18,6 +18,7 @@ func TestSummarySchemaLocked(t *testing.T) {
 	s := Summary{
 		SchemaVersion: summarySchemaVersion,
 		ServerStages:  []telemetry.StageStats{{Stage: "route"}},
+		ServerShards:  []ServerShard{{Shard: 0, Batches: 1}},
 	}
 	raw, err := json.Marshal(s)
 	if err != nil {
@@ -35,7 +36,7 @@ func TestSummarySchemaLocked(t *testing.T) {
 		"svc_mean_us", "svc_p50_us", "svc_p90_us", "svc_p99_us",
 		"svc_p999_us", "svc_max_us",
 		"queue_mean_us", "queue_p50_us", "queue_p99_us", "queue_max_us",
-		"server_stages",
+		"server_stages", "server_shards",
 	}
 	got := make([]string, 0, len(m))
 	for k := range m {
@@ -62,10 +63,20 @@ func TestSummarySchemaLocked(t *testing.T) {
 			t.Fatalf("server_stages entry missing %q: %s", k, m["server_stages"])
 		}
 	}
+
+	var shards []map[string]json.RawMessage
+	if err := json.Unmarshal(m["server_shards"], &shards); err != nil || len(shards) != 1 {
+		t.Fatalf("server_shards malformed: %s", m["server_shards"])
+	}
+	for _, k := range []string{"shard", "queue_depth", "batches", "avg_batch", "batch_limit"} {
+		if _, ok := shards[0][k]; !ok {
+			t.Fatalf("server_shards entry missing %q: %s", k, m["server_shards"])
+		}
+	}
 }
 
 // TestSummaryOmitsStagesWithoutAdmin: without -admin the summary must not
-// grow an empty server_stages key.
+// grow empty server_stages/server_shards keys.
 func TestSummaryOmitsStagesWithoutAdmin(t *testing.T) {
 	raw, err := json.Marshal(Summary{SchemaVersion: summarySchemaVersion})
 	if err != nil {
@@ -73,5 +84,8 @@ func TestSummaryOmitsStagesWithoutAdmin(t *testing.T) {
 	}
 	if strings.Contains(string(raw), "server_stages") {
 		t.Fatalf("server_stages present with no admin scrape: %s", raw)
+	}
+	if strings.Contains(string(raw), "server_shards") {
+		t.Fatalf("server_shards present with no admin scrape: %s", raw)
 	}
 }

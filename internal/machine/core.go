@@ -24,12 +24,15 @@ func (m *Machine) stepCore(c *coreCtx) {
 	}
 	op := c.ops[c.pc]
 	c.pc++
-	after := func() {
-		if m.cfg.RecordOpTimes {
-			c.opTimes = append(c.opTimes, m.eng.Now())
+	if c.after == nil {
+		c.after = func() {
+			if m.cfg.RecordOpTimes {
+				c.opTimes = append(c.opTimes, m.eng.Now())
+			}
+			m.stepCore(c)
 		}
-		m.stepCore(c)
 	}
+	after := c.after
 	switch op.Kind {
 	case trace.Compute:
 		m.eng.After(op.Cycles, after)

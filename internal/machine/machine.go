@@ -85,14 +85,27 @@ type coreCtx struct {
 	table *epoch.Table
 	arb   *epoch.Arbiter
 
-	ops  []trace.Op
-	pc   int
-	txs  uint64
-	done bool
+	ops []trace.Op
+	pc  int
+	// retired counts ops consumed and compacted out of the front of ops
+	// (streaming mode reclaims the consumed prefix when the core parks, so
+	// a long-lived feed does not grow the slice without bound). The core's
+	// total retirement count is retired + pc.
+	retired int
+	// after is the hoisted retire continuation shared by every op this
+	// core executes (allocating it per op would put one closure on the
+	// heap per retired instruction).
+	after func()
+	txs   uint64
+	done  bool
 
 	// waiting marks a streaming-mode core parked with no ops left; Feed
 	// (or CloseFeed) reschedules it.
 	waiting bool
+	// wake is the hoisted un-park continuation, shared by every Feed that
+	// finds this core parked (per-Feed closures would allocate on the
+	// group-commit hot path).
+	wake func()
 
 	// pendingTok maps a line to the token of the tagged store currently
 	// in flight to it (see trace.Op.Token).

@@ -151,7 +151,7 @@ func (m *Machine) result() *Result {
 	for _, c := range m.cores {
 		cr := CoreResult{
 			Transactions: c.txs,
-			OpsRetired:   c.pc,
+			OpsRetired:   c.retired + c.pc,
 			ExecDone:     c.execDone,
 			Stalls:       c.stalls,
 			OpTimes:      c.opTimes,

@@ -44,10 +44,21 @@ func (m *Machine) Feed(core int, ops []trace.Op) error {
 		return fmt.Errorf("machine: Feed to core %d of %d", core, len(m.cores))
 	}
 	c := m.cores[core]
+	if c.pc > 0 && c.pc == len(c.ops) {
+		// The core consumed everything it was fed: reclaim the prefix so a
+		// long-lived stream runs in bounded memory (and appends below stay
+		// amortized O(1) instead of growing the slice forever).
+		c.retired += c.pc
+		c.pc = 0
+		c.ops = c.ops[:0]
+	}
 	c.ops = append(c.ops, ops...)
 	if c.waiting {
 		c.waiting = false
-		m.eng.At(m.eng.Now(), func() { m.stepCore(c) })
+		if c.wake == nil {
+			c.wake = func() { m.stepCore(c) }
+		}
+		m.eng.At(m.eng.Now(), c.wake)
 	}
 	return nil
 }

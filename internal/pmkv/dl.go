@@ -6,11 +6,8 @@
 package pmkv
 
 import (
-	"sort"
-
 	"persistbarriers/internal/dlcheck"
 	"persistbarriers/internal/machine"
-	"persistbarriers/internal/mem"
 )
 
 // batchWrite is one session's last write to a key within the current
@@ -56,13 +53,21 @@ func (e *Engine) observedRead(sess int, key string) (val []byte, found bool, rec
 	return val, found, e.lastRecOf(key)
 }
 
-// batchFor returns the key's overlay for the current batch, capturing
-// the pre-batch snapshot on first touch. Caller holds e.mu.
+// batchFor returns the key's overlay for the current commit window,
+// capturing the pre-window snapshot on first touch. Entries come from
+// the freelist clearBatchLocked refills, so the steady-state window
+// allocates nothing. Caller holds e.mu.
 func (e *Engine) batchFor(key string) *batchKey {
 	bk, ok := e.batch[key]
 	if !ok {
-		v, found := e.kv[key]
-		bk = &batchKey{oldVal: v, oldFound: found, oldRec: e.lastRecOf(key), bySess: make(map[int]batchWrite)}
+		if n := len(e.bkFree); n > 0 {
+			bk = e.bkFree[n-1]
+			e.bkFree = e.bkFree[:n-1]
+		} else {
+			bk = &batchKey{bySess: make(map[int]batchWrite)}
+		}
+		bk.oldVal, bk.oldFound = e.kv[key]
+		bk.oldRec = e.lastRecOf(key)
 		e.batch[key] = bk
 	}
 	return bk
@@ -77,30 +82,26 @@ func (e *Engine) DL() *dlcheck.Tracker { return e.dl }
 // retired publish, grouped per bucket in head-store commit (version)
 // order, flagged durable when its head version reached NVRAM. The
 // cross-bucket interleaving is immaterial to the checker — only each
-// bucket's chain order carries edges — so buckets are emitted in head
-// order for determinism.
+// bucket's chain order carries edges — so buckets are emitted in
+// ascending bucket order for determinism.
 func (e *Engine) DLImage(res *machine.Result) *dlcheck.Image {
 	e.mu.Lock()
 	records := e.records
+	buckets := e.cfg.Buckets
 	e.mu.Unlock()
 
 	recIdx := make(map[*OpRecord]int, len(records))
 	for i, r := range records {
 		recIdx[r] = i
 	}
-	byHead := publishesByHead(records, res.TokenVersions)
-	heads := make([]mem.Line, 0, len(byHead))
-	for h := range byHead {
-		heads = append(heads, h)
-	}
-	sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
-	img := &dlcheck.Image{}
-	for _, h := range heads {
-		for _, r := range byHead[h] {
+	byBucket, total := publishesByBucket(records, res.TokenVersions, buckets)
+	img := &dlcheck.Image{Order: make([]dlcheck.Publish, 0, total)}
+	for _, recs := range byBucket {
+		for _, p := range recs {
 			img.Order = append(img.Order, dlcheck.Publish{
-				Rec:     recIdx[r],
-				Bucket:  r.Bucket,
-				Durable: durable(res.Image, r.Head, res.TokenVersions[r.PubToken]),
+				Rec:     recIdx[p.r],
+				Bucket:  p.r.Bucket,
+				Durable: durable(res.Image, p.r.Head, p.v),
 			})
 		}
 	}

@@ -1,0 +1,551 @@
+// Tests for the v2 shard-worker hot path: the gather loop's boundary
+// behavior, the adaptive batch limit, crash routing on the busy ack
+// path, the allocation discipline of the group-commit path, and the
+// parallel recovery replay's byte-identity with the serial reference.
+package pmkv
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"testing"
+
+	"persistbarriers/internal/machine"
+	"persistbarriers/internal/mem"
+	"persistbarriers/internal/sim"
+)
+
+// testWorker builds a shardWorker around a bare mailbox (no engine):
+// gather and setLimit never touch the machine, so the loop boundaries
+// are testable in isolation.
+func testWorker(cfg ShardedConfig) (*shardWorker, *shard) {
+	cfg.fill()
+	sh := &shard{id: 0, mail: make(chan shardJob, cfg.Mailbox), open: true}
+	sh.batchLim.Store(int64(cfg.MinBatch))
+	w := &shardWorker{s: &ShardedStore{cfg: cfg}, sh: sh, open: true, limit: cfg.MinBatch}
+	return w, sh
+}
+
+func fillMail(sh *shard, n int) {
+	done := make(chan Completion, n)
+	for i := 0; i < n; i++ {
+		sh.mail <- shardJob{done: done, tag: uint64(i)}
+		sh.enq.Add(1)
+	}
+}
+
+// TestGatherExactLimit: with exactly limit requests queued, one gather
+// drains them all and — because nothing is left behind — the adaptive
+// limit must NOT grow.
+func TestGatherExactLimit(t *testing.T) {
+	w, sh := testWorker(ShardedConfig{MinBatch: 4, MaxBatch: 16})
+	w.fed = append(w.fed, pendingBatch{}) // skip the blocking receive
+	fillMail(sh, 4)
+	batch := w.gather()
+	if len(batch) != 4 {
+		t.Fatalf("gather drained %d jobs, want exactly 4", len(batch))
+	}
+	if w.limit != 4 {
+		t.Fatalf("limit grew to %d on an exactly-full gather with an empty mailbox", w.limit)
+	}
+	if got := sh.deq.Load(); got != 4 {
+		t.Fatalf("deq counter = %d, want 4", got)
+	}
+}
+
+// TestGatherGrowsUnderBacklog: filling the limit with requests still
+// queued behind it doubles the limit, capped at MaxBatch.
+func TestGatherGrowsUnderBacklog(t *testing.T) {
+	w, sh := testWorker(ShardedConfig{MinBatch: 4, MaxBatch: 16, Mailbox: 64})
+	w.fed = append(w.fed, pendingBatch{})
+	fillMail(sh, 40)
+	var sizes []int
+	for len(sh.mail) > 0 {
+		b := w.gather()
+		sizes = append(sizes, len(b))
+	}
+	if w.limit != 16 {
+		t.Fatalf("limit = %d after sustained backlog, want MaxBatch 16", w.limit)
+	}
+	if sizes[0] != 4 || sizes[1] != 8 || sizes[2] != 16 {
+		t.Fatalf("batch sizes %v: want doubling ramp 4, 8, 16, ...", sizes)
+	}
+	if got := sh.batchLim.Load(); got != 16 {
+		t.Fatalf("live batch-limit gauge = %d, want 16", got)
+	}
+}
+
+// TestGatherShrinksWhenBlocked: a worker that had to block for work
+// halves its limit (demand is light), never below MinBatch.
+func TestGatherShrinksWhenBlocked(t *testing.T) {
+	w, sh := testWorker(ShardedConfig{MinBatch: 2, MaxBatch: 16})
+	w.limit = 16
+	for i, want := range []int{8, 4, 2, 2} {
+		fillMail(sh, 1)
+		if b := w.gather(); len(b) != 1 {
+			t.Fatalf("block %d: gather returned %d jobs", i, len(b))
+		}
+		if w.limit != want {
+			t.Fatalf("block %d: limit = %d, want %d", i, w.limit, want)
+		}
+	}
+}
+
+// TestGatherMailboxClosesMidGather: the mailbox closing between jobs
+// must end the gather with the jobs already taken (they commit) and
+// flip the worker closed.
+func TestGatherMailboxClosesMidGather(t *testing.T) {
+	w, sh := testWorker(ShardedConfig{MinBatch: 8, MaxBatch: 8})
+	w.fed = append(w.fed, pendingBatch{})
+	fillMail(sh, 3)
+	close(sh.mail)
+	batch := w.gather()
+	if len(batch) != 3 {
+		t.Fatalf("gather returned %d jobs, want the 3 queued before the close", len(batch))
+	}
+	if w.open {
+		t.Fatal("worker still open after the mailbox closed mid-gather")
+	}
+	// A closed, empty mailbox yields nothing more (and must not block).
+	if b := w.gather(); len(b) != 0 {
+		t.Fatalf("gather on a closed empty mailbox returned %d jobs", len(b))
+	}
+}
+
+// TestSetLimitClamps: the adaptive limit can never leave
+// [MinBatch, MaxBatch].
+func TestSetLimitClamps(t *testing.T) {
+	w, _ := testWorker(ShardedConfig{MinBatch: 4, MaxBatch: 32})
+	w.setLimit(1 << 20)
+	if w.limit != 32 {
+		t.Fatalf("limit = %d, want clamped to MaxBatch 32", w.limit)
+	}
+	w.setLimit(0)
+	if w.limit != 4 {
+		t.Fatalf("limit = %d, want clamped to MinBatch 4", w.limit)
+	}
+}
+
+// TestShardedConfigFillClamps pins the defaulting rules the flags rely
+// on: MinBatch folds down to MaxBatch, MaxInFlight clamps to 1..8.
+func TestShardedConfigFillClamps(t *testing.T) {
+	c := ShardedConfig{MaxBatch: 4, MinBatch: 100, MaxInFlight: 99}
+	c.fill()
+	if c.MinBatch != 4 || c.MaxInFlight != 8 {
+		t.Fatalf("fill: MinBatch=%d MaxInFlight=%d, want 4 and 8", c.MinBatch, c.MaxInFlight)
+	}
+	var d ShardedConfig
+	d.fill()
+	if d.MinBatch != 8 || d.MaxBatch != 64 || d.MaxInFlight != 2 {
+		t.Fatalf("defaults: %+v", d)
+	}
+}
+
+// TestDurableWatermarkReportsCrash: once the machine hits its crash
+// instant, DurableWatermark and StepDurable must surface ErrCrashed
+// while still reporting valid watermark numbers — the shard worker's
+// busy ack path keys crash handling off this error (it used to be
+// silently discarded).
+func TestDurableWatermarkReportsCrash(t *testing.T) {
+	e, err := New(Config{CrashAt: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := e.NewSession()
+	for i := 0; ; i++ {
+		if i > 10_000 {
+			t.Fatal("crash instant never reached")
+		}
+		_, err := e.Apply([]Request{{Sess: sess, Op: Put, Key: fmt.Sprintf("k%d", i%8), Value: []byte("v")}})
+		if err == ErrCrashed {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, total, err := e.DurableWatermark()
+	if err != ErrCrashed {
+		t.Fatalf("DurableWatermark err = %v, want ErrCrashed", err)
+	}
+	if d < 0 || d > total || total == 0 {
+		t.Fatalf("crashed watermark %d/%d implausible", d, total)
+	}
+	if _, _, err := e.StepDurable(total); err != ErrCrashed {
+		t.Fatalf("StepDurable err = %v, want ErrCrashed", err)
+	}
+}
+
+// TestCrashWithBusyMailbox is the regression for the dropped-error bug:
+// a shard whose mailbox stays saturated takes the polling ack path, so
+// the crash must be noticed there (not just in PumpRetire) and every
+// outstanding request must still complete — crashed, erred, or durable —
+// with the crash image verifying on Close.
+func TestCrashWithBusyMailbox(t *testing.T) {
+	crashes := make(chan int, 1)
+	store, err := NewSharded(ShardedConfig{
+		Shards:      1,
+		Mailbox:     16,
+		MinBatch:    2,
+		MaxBatch:    4,
+		MaxInFlight: 2,
+		Engine:      Config{CrashAt: 20_000},
+		OnCrash:     func(shard int) { crashes <- shard },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := store.NewSession()
+	const inflight = 2000
+	done := make(chan Completion, inflight)
+	routed := 0
+	for i := 0; i < inflight; i++ {
+		// Saturate the mailbox so the worker keeps finding queued work
+		// and its ack path stays on the watermark poll.
+		_, err := store.DoAsync(sess, Put, fmt.Sprintf("busy%04d", i), []byte("v"), nil, uint64(i), done)
+		if err == ErrDraining {
+			break
+		}
+		if err != nil {
+			t.Fatalf("DoAsync(%d): %v", i, err)
+		}
+		routed++
+	}
+	sawCrash := false
+	for i := 0; i < routed; i++ {
+		c := <-done
+		if c.Ack.Crashed || c.Ack.Err == ErrCrashed {
+			sawCrash = true
+		} else if c.Ack.Err != nil {
+			t.Fatalf("tag %d: %v", c.Tag, c.Ack.Err)
+		}
+	}
+	if !sawCrash {
+		t.Fatal("crash instant never surfaced in an ack (workload too short?)")
+	}
+	select {
+	case <-crashes:
+	default:
+		t.Fatal("OnCrash never fired despite crashed acks")
+	}
+	if _, err := store.Close(); err != nil {
+		t.Fatalf("crash-image verification failed: %v", err)
+	}
+}
+
+// TestBatchMetricsExposed: a worked store must report a populated
+// batch-size histogram and an in-bounds live batch limit through
+// Metrics.
+func TestBatchMetricsExposed(t *testing.T) {
+	store, err := NewSharded(ShardedConfig{Shards: 2, MinBatch: 2, MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := store.NewSession()
+	const ops = 48
+	done := make(chan Completion, ops)
+	for i := 0; i < ops; i++ {
+		if _, err := store.DoAsync(sess, Put, fmt.Sprintf("m%03d", i), []byte("v"), nil, uint64(i), done); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < ops; i++ {
+		if c := <-done; c.Ack.Err != nil || c.Ack.Crashed {
+			t.Fatalf("ack: %+v", c.Ack)
+		}
+	}
+	var batches, sized uint64
+	for _, m := range store.Metrics() {
+		if m.BatchLimit < 2 || m.BatchLimit > 8 {
+			t.Fatalf("shard %d: batch limit %d outside [2, 8]", m.Shard, m.BatchLimit)
+		}
+		batches += m.Batches
+		sized += m.BatchSizes.Total
+		if m.BatchSizes.Sum < m.BatchSizes.Total {
+			t.Fatalf("shard %d: histogram sum %d < count %d (batches smaller than 1?)",
+				m.Shard, m.BatchSizes.Sum, m.BatchSizes.Total)
+		}
+	}
+	if batches == 0 || sized != batches {
+		t.Fatalf("histogram holds %d observations, batches counter %d", sized, batches)
+	}
+	if _, err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitAllocs pins the allocation discipline of the engine's
+// group-commit path. The translate/feed layer (SubmitAppend: response
+// building, session overlays, trace construction, machine feed) must be
+// allocation-free in steady state — exactly zero for read-only batches,
+// amortized near-zero for mutations (arena chunk and record-slice
+// growth are the only remaining sources). The retire pump on top adds
+// only the simulated hardware's own event costs, guarded with
+// amortized ceilings that would still catch any per-request allocation
+// creeping back into the commit path.
+func TestGroupCommitAllocs(t *testing.T) {
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := []*Session{e.NewSession(), e.NewSession(), e.NewSession(), e.NewSession()}
+	const batchLen = 16
+	keys := make([]string, batchLen)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("alloc%02d", i)
+	}
+	val := make([]byte, 96)
+	puts := make([]Request, batchLen)
+	gets := make([]Request, batchLen)
+	for i := 0; i < batchLen; i++ {
+		puts[i] = Request{Sess: sessions[i%len(sessions)], Op: Put, Key: keys[i], Value: val}
+		gets[i] = Request{Sess: sessions[i%len(sessions)], Op: Get, Key: keys[i]}
+	}
+	commit := func(reqs []Request, dst []Response) []Response {
+		out, err := e.SubmitAppend(dst[:0], reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.PumpRetire(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	dst := make([]Response, 0, batchLen)
+	// Warm up: keys exist, arenas, op buffers, and mailroom slices are
+	// sized.
+	for i := 0; i < 30; i++ {
+		dst = commit(puts, dst)
+		dst = commit(gets, dst)
+	}
+
+	// Submit layer, read-only: exactly zero, every single batch. The
+	// pump runs outside the measured window to keep the machine drained.
+	var before, after runtime.MemStats
+	runtime.GC()
+	for i := 0; i < 30; i++ {
+		runtime.ReadMemStats(&before)
+		out, err := e.SubmitAppend(dst[:0], gets)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = out
+		if err := e.PumpRetire(); err != nil {
+			t.Fatal(err)
+		}
+		if n := after.Mallocs - before.Mallocs; n != 0 {
+			t.Fatalf("read-only SubmitAppend batch %d allocated %d times, want 0", i, n)
+		}
+	}
+
+	// Submit layer, mutations: amortized near-zero (rare arena-chunk and
+	// record-slice growth only).
+	var putAllocs uint64
+	for i := 0; i < 30; i++ {
+		runtime.ReadMemStats(&before)
+		out, err := e.SubmitAppend(dst[:0], puts)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = out
+		if err := e.PumpRetire(); err != nil {
+			t.Fatal(err)
+		}
+		putAllocs += after.Mallocs - before.Mallocs
+	}
+	if putAllocs > 15 {
+		t.Fatalf("mutation SubmitAppend allocated %d times across 30 batches, want amortized <= 0.5/batch", putAllocs)
+	}
+
+	// Full commit cycle ceilings: the only allocations left come from the
+	// simulated hardware's event machinery, bounded well under one alloc
+	// per op. A per-request leak in the commit path would add >= batchLen
+	// per run and trip these.
+	if avg := testing.AllocsPerRun(50, func() {
+		out, err := e.SubmitAppend(dst[:0], gets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = out
+		if err := e.PumpRetire(); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 8 {
+		t.Fatalf("read-only commit cycle allocates %.2f times per %d-op batch, ceiling 8", avg, batchLen)
+	}
+	if _, err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelReplayByteIdentical: recovery replay must produce the
+// byte-identical fingerprint at every worker count, on clean drains and
+// across a sweep of crash images.
+func TestParallelReplayByteIdentical(t *testing.T) {
+	spec := testSpec()
+	serial, err := RunScript(Config{RecoveryWorkers: 1}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instants := append([]sim.Cycle{0}, SweepInstants(serial.Cycles, 6)...)
+	for _, workers := range []int{2, 4, 0} {
+		for _, at := range instants {
+			a, err := RunScript(Config{CrashAt: at, RecoveryWorkers: 1}, spec)
+			if err != nil {
+				t.Fatalf("serial at %d: %v", at, err)
+			}
+			b, err := RunScript(Config{CrashAt: at, RecoveryWorkers: workers}, spec)
+			if err != nil {
+				t.Fatalf("workers=%d at %d: %v", workers, at, err)
+			}
+			if a.Report.Fingerprint != b.Report.Fingerprint {
+				t.Fatalf("crash at %d: workers=%d fingerprint %s != serial %s",
+					at, workers, b.Report.Fingerprint, a.Report.Fingerprint)
+			}
+		}
+	}
+}
+
+// legacyRecoveredState reproduces the pre-v2 recovery replay — per-head
+// publish lists sorted with TokenVersions map lookups inside the
+// comparator, then one serial bucket loop resolving each publish's
+// version through the map again. BenchmarkParallelRecovery uses it as
+// the baseline the optimized replay is measured against; its output
+// must stay byte-identical to the new path.
+func legacyRecoveredState(e *Engine, res *machine.Result) (map[string][]byte, error) {
+	e.mu.Lock()
+	records := e.records
+	buckets := e.cfg.Buckets
+	e.mu.Unlock()
+
+	tokens := res.TokenVersions
+	byHead := make(map[mem.Line][]*OpRecord)
+	for _, r := range records {
+		if r.Op == Get {
+			continue
+		}
+		if _, ok := tokens[r.PubToken]; !ok {
+			continue
+		}
+		byHead[r.Head] = append(byHead[r.Head], r)
+	}
+	for _, recs := range byHead {
+		sort.Slice(recs, func(i, j int) bool {
+			return tokens[recs[i].PubToken] < tokens[recs[j].PubToken]
+		})
+	}
+	state := make(map[string][]byte)
+	for b := 0; b < buckets; b++ {
+		h := e.headLine(b)
+		hv := res.Image[h]
+		if hv == mem.NoVersion {
+			continue
+		}
+		matched := false
+		for _, r := range byHead[h] {
+			v := tokens[r.PubToken]
+			if v > hv {
+				break
+			}
+			matched = matched || v == hv
+			switch r.Op {
+			case Put:
+				state[r.Key] = r.Value
+			case Delete:
+				delete(state, r.Key)
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pmkv: bucket %d head holds version %d with no matching publish", b, hv)
+		}
+	}
+	return state, nil
+}
+
+// recoveryFixture builds an engine holding n mutation records and its
+// clean-drain machine result — the recovery workload.
+func recoveryFixture(tb testing.TB, n int) (*Engine, *machine.Result) {
+	tb.Helper()
+	e, err := New(Config{Buckets: 256})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sessions := make([]*Session, 4)
+	for i := range sessions {
+		sessions[i] = e.NewSession()
+	}
+	val := make([]byte, 64)
+	const batchLen = 32
+	batch := make([]Request, 0, batchLen)
+	for i := 0; i < n; i++ {
+		batch = append(batch, Request{
+			Sess:  sessions[i%len(sessions)],
+			Op:    Put,
+			Key:   fmt.Sprintf("r%06d", i%(n/2+1)),
+			Value: val,
+		})
+		if len(batch) == batchLen || i == n-1 {
+			if _, err := e.Apply(batch); err != nil {
+				tb.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	res, err := e.Close()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return e, res
+}
+
+// TestLegacyReplayAgreesWithNew anchors the benchmark baseline: the
+// legacy replay and the optimized one must recover identical state.
+func TestLegacyReplayAgreesWithNew(t *testing.T) {
+	e, res := recoveryFixture(t, 2000)
+	legacy, err := legacyRecoveredState(e, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := e.RecoveredState(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FingerprintState(legacy) != FingerprintState(state) {
+		t.Fatal("legacy and optimized replay recover different state")
+	}
+	if len(state) == 0 {
+		t.Fatal("fixture recovered no keys")
+	}
+}
+
+// BenchmarkParallelRecovery measures full recovery replay
+// (publish-order reconstruction + per-bucket replay) against store
+// size: the pre-v2 implementation, the optimized serial path, and the
+// parallel path at GOMAXPROCS workers. The serial win is algorithmic
+// (materialized publish versions, no map lookups in sort comparators);
+// the parallel win stacks on top with host cores.
+func BenchmarkParallelRecovery(b *testing.B) {
+	for _, n := range []int{2000, 8000, 32000} {
+		e, res := recoveryFixture(b, n)
+		b.Run(fmt.Sprintf("records=%d/legacy", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := legacyRecoveredState(e, res); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, workers := range []int{1, 0} {
+			name := fmt.Sprintf("records=%d/workers=%d", n, workers)
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					byBucket, total := publishesByBucket(e.records, res.TokenVersions, e.cfg.Buckets)
+					if _, err := e.replayState(byBucket, total, res, e.cfg.Buckets, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -19,7 +19,7 @@ package pmkv
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"persistbarriers/internal/dlcheck"
@@ -82,6 +82,11 @@ type Config struct {
 	// against the final image. Off by default; when off the observation
 	// hooks are nil-receiver no-ops costing zero allocations.
 	Check bool
+	// RecoveryWorkers bounds the per-bucket replay parallelism of
+	// RecoveredState and Verify (buckets are disjoint, so their publish
+	// prefixes replay concurrently). 0 means GOMAXPROCS; 1 forces the
+	// serial reference path.
+	RecoveryWorkers int
 }
 
 // SmallMachine is a 4-core LB++ machine suitable for interactive use and
@@ -129,13 +134,15 @@ type Request struct {
 
 // Response answers a Request from the engine's volatile state (visibility
 // is immediate; durability is what Verify and RecoveredState reason about).
-// Within one group commit, reads are snapshot-consistent: a Get (or a
-// Delete's Found) observes the state as of batch admission plus the
-// session's own writes in the batch — never another session's same-batch
-// write. Same-batch ops are concurrent in simulated time, and the machine
-// only orders a reader's later persists after a foreign write it observed
-// when the observation crosses a batch boundary (the head-line load hits
-// the writer's unpersisted epoch), so serving foreign same-batch writes
+// Within one commit window — the Submit batches fed since the last
+// completed PumpRetire — reads are snapshot-consistent: a Get (or a
+// Delete's Found) observes the state as of window admission plus the
+// session's own writes in the window — never another session's
+// same-window write. Same-window ops are concurrent in simulated time
+// (none has executed until the pump runs), and the machine only orders a
+// reader's later persists after a foreign write it observed when the
+// observation crosses a window boundary (the head-line load hits the
+// writer's unpersisted epoch), so serving foreign same-window writes
 // would be a dirty read that durable linearizability cannot honor.
 type Response struct {
 	Found bool
@@ -174,7 +181,22 @@ type Engine struct {
 	kv      map[string][]byte     // volatile logical state
 	entries map[string][]mem.Line // current entry lines per key (for Get loads)
 	lastRec map[string]int        // last mutation record index per key
-	batch   map[string]*batchKey  // current group commit's write overlay
+	batch   map[string]*batchKey  // current commit window's write overlay
+	bkFree  []*batchKey           // overlay freelist (cleared entries, reused next window)
+
+	// opBuf is the shared translation buffer: Feed copies the ops it is
+	// handed, so one builder (reset per request) serves every translate
+	// without allocating.
+	opBuf trace.Builder
+
+	// Arenas for the per-mutation state the engine retains for the whole
+	// run (value bytes, audit records, entry lines/tokens). Retention
+	// forever rules out pooling; chunked bump allocation amortizes the
+	// per-op cost to ~zero instead.
+	valArena  []byte
+	recArena  []OpRecord
+	lineArena []mem.Line
+	tokArena  []uint64
 
 	// dl observes ops for durable-linearizability checking; nil unless
 	// cfg.Check (nil-receiver methods make disabled hooks free).
@@ -259,6 +281,68 @@ func (e *Engine) headLine(bucket int) mem.Line {
 	return mem.LineOf(headBase + mem.Addr(bucket)*mem.LineSize)
 }
 
+// Arena chunk sizes: large enough that chunk turnover is rare under the
+// shard workers' steady state, small enough that an idle engine wastes
+// little.
+const (
+	valArenaChunk = 64 << 10
+	recArenaChunk = 256
+	idxArenaChunk = 1024
+)
+
+// arenaBytes carves n bytes off the value arena. The returned slice has
+// exactly capacity n (full slice expression), so an append by the caller
+// can never bleed into a neighbouring value.
+func (e *Engine) arenaBytes(n int) []byte {
+	if len(e.valArena)+n > cap(e.valArena) {
+		c := valArenaChunk
+		if n > c {
+			c = n
+		}
+		e.valArena = make([]byte, 0, c)
+	}
+	off := len(e.valArena)
+	e.valArena = e.valArena[:off+n]
+	return e.valArena[off : off+n : off+n]
+}
+
+// arenaRecord carves one OpRecord off the record arena.
+func (e *Engine) arenaRecord() *OpRecord {
+	if len(e.recArena) == cap(e.recArena) {
+		e.recArena = make([]OpRecord, 0, recArenaChunk)
+	}
+	e.recArena = e.recArena[:len(e.recArena)+1]
+	return &e.recArena[len(e.recArena)-1]
+}
+
+// arenaLines carves n entry lines off the line arena.
+func (e *Engine) arenaLines(n int) []mem.Line {
+	if len(e.lineArena)+n > cap(e.lineArena) {
+		c := idxArenaChunk
+		if n > c {
+			c = n
+		}
+		e.lineArena = make([]mem.Line, 0, c)
+	}
+	off := len(e.lineArena)
+	e.lineArena = e.lineArena[:off+n]
+	return e.lineArena[off : off+n : off+n]
+}
+
+// arenaTokens carves n store tokens off the token arena.
+func (e *Engine) arenaTokens(n int) []uint64 {
+	if len(e.tokArena)+n > cap(e.tokArena) {
+		c := idxArenaChunk
+		if n > c {
+			c = n
+		}
+		e.tokArena = make([]uint64, 0, c)
+	}
+	off := len(e.tokArena)
+	e.tokArena = e.tokArena[:off+n]
+	return e.tokArena[off : off+n : off+n]
+}
+
 // entryLinesFor allocates fresh lines for a value (at least one; one line
 // per 64 value bytes). Entries are never rewritten — each Put gets new
 // lines, like a log-structured heap — so tagged entry stores trivially
@@ -268,7 +352,7 @@ func (e *Engine) entryLinesFor(value []byte) []mem.Line {
 	if n == 0 {
 		n = 1
 	}
-	lines := make([]mem.Line, n)
+	lines := e.arenaLines(n)
 	for i := range lines {
 		lines[i] = mem.LineOf(e.nextEntry)
 		e.nextEntry += mem.LineSize
@@ -277,7 +361,10 @@ func (e *Engine) entryLinesFor(value []byte) []mem.Line {
 }
 
 // translate turns one request into a per-core op stream, updates the
-// volatile state, and records the audit trail for mutations.
+// volatile state, and records the audit trail for mutations. The
+// returned ops live in the engine's shared builder and are valid only
+// until the next translate — the caller must hand them to Feed (which
+// copies) before translating the next request.
 func (e *Engine) translate(req Request) (Response, []trace.Op, error) {
 	if req.Sess == nil {
 		return Response{}, nil, fmt.Errorf("pmkv: request without session")
@@ -287,7 +374,7 @@ func (e *Engine) translate(req Request) (Response, []trace.Op, error) {
 	seq := e.seqs[req.Sess.ID]
 	e.seqs[req.Sess.ID]++
 
-	var b trace.Builder
+	b := e.opBuf.Reset()
 	switch req.Op {
 	case Get:
 		b.Load(head.Addr())
@@ -303,17 +390,20 @@ func (e *Engine) translate(req Request) (Response, []trace.Op, error) {
 		return Response{Found: found, Value: val}, b.Ops(), nil
 
 	case Put:
-		val := append([]byte(nil), req.Value...)
-		rec := &OpRecord{
+		val := e.arenaBytes(len(req.Value))
+		copy(val, req.Value)
+		rec := e.arenaRecord()
+		*rec = OpRecord{
 			Sess: req.Sess.ID, Seq: seq, Core: req.Sess.Core,
 			Op: Put, Key: req.Key, Bucket: bucket, Head: head,
 			Value: val,
 		}
 		rec.EntryLines = e.entryLinesFor(val)
+		rec.EntryTokens = e.arenaTokens(len(rec.EntryLines))
 		b.Load(head.Addr())
-		for _, l := range rec.EntryLines {
+		for i, l := range rec.EntryLines {
 			e.nextToken++
-			rec.EntryTokens = append(rec.EntryTokens, e.nextToken)
+			rec.EntryTokens[i] = e.nextToken
 			b.StoreTagged(l.Addr(), e.nextToken)
 		}
 		b.Barrier()
@@ -335,7 +425,8 @@ func (e *Engine) translate(req Request) (Response, []trace.Op, error) {
 
 	case Delete:
 		_, found, obsRec := e.observedRead(req.Sess.ID, req.Key)
-		rec := &OpRecord{
+		rec := e.arenaRecord()
+		*rec = OpRecord{
 			Sess: req.Sess.ID, Seq: seq, Core: req.Sess.Core,
 			Op: Delete, Key: req.Key, Bucket: bucket, Head: head,
 		}
@@ -379,7 +470,7 @@ func (e *Engine) crashLimit() sim.Cycle {
 func (e *Engine) Apply(batch []Request) ([]Response, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	resps, err := e.submitLocked(batch)
+	resps, err := e.submitLocked(nil, batch)
 	if err != nil {
 		return nil, err
 	}
@@ -403,20 +494,31 @@ func (e *Engine) Apply(batch []Request) ([]Response, error) {
 func (e *Engine) Submit(batch []Request) ([]Response, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.submitLocked(batch)
+	return e.submitLocked(nil, batch)
 }
 
-func (e *Engine) submitLocked(batch []Request) ([]Response, error) {
+// SubmitAppend is Submit appending responses to dst, so a pipelined
+// committer can reuse one response buffer per in-flight batch instead of
+// allocating a fresh slice per commit.
+func (e *Engine) SubmitAppend(dst []Response, batch []Request) ([]Response, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.submitLocked(dst, batch)
+}
+
+func (e *Engine) submitLocked(dst []Response, batch []Request) ([]Response, error) {
 	if e.closed {
 		return nil, fmt.Errorf("pmkv: engine closed")
 	}
 	if e.crashed {
 		return nil, ErrCrashed
 	}
-	// A fresh group commit: reads in this batch observe the pre-batch
-	// snapshot plus their own session's writes (see Response).
-	clear(e.batch)
-	resps := make([]Response, 0, len(batch))
+	// Reads in this batch observe the commit window's admission snapshot
+	// plus their own session's writes in the window (see Response). The
+	// overlay spans every batch fed since the last completed pump —
+	// pumpRetireLocked resets it, because that is when the fed writes
+	// stop being concurrent-in-flight and become pre-window state.
+	resps := dst
 	for _, req := range batch {
 		resp, ops, err := e.translate(req)
 		if err != nil {
@@ -428,6 +530,21 @@ func (e *Engine) submitLocked(batch []Request) ([]Response, error) {
 		}
 	}
 	return resps, nil
+}
+
+// clearBatchLocked ends the commit window: overlay entries are scrubbed
+// and returned to the freelist so the next window's batchFor calls
+// allocate nothing.
+func (e *Engine) clearBatchLocked() {
+	if len(e.batch) == 0 {
+		return
+	}
+	for _, bk := range e.batch {
+		clear(bk.bySess)
+		bk.oldVal = nil
+		e.bkFree = append(e.bkFree, bk)
+	}
+	clear(e.batch)
 }
 
 // PumpRetire advances the machine until every fed op has retired (or the
@@ -455,6 +572,9 @@ func (e *Engine) pumpRetireLocked() error {
 		e.crashed = true
 		return ErrCrashed
 	}
+	// Every fed op retired: the commit window is over, its writes are
+	// pre-window state for whatever is submitted next.
+	e.clearBatchLocked()
 	return nil
 }
 
@@ -510,11 +630,49 @@ func (e *Engine) advanceWatermarkLocked() int {
 // DurableWatermark reports the durable-prefix watermark: the number of
 // mutation records (in submission order) whose publishes have reached
 // NVRAM, and the total number of mutation records submitted. Acks gated
-// on the watermark are durability guarantees, not just visibility.
-func (e *Engine) DurableWatermark() (durable, total int) {
+// on the watermark are durability guarantees, not just visibility. The
+// error is ErrCrashed once the machine has hit its crash instant — the
+// numbers are still valid (the watermark as of the crash), but a caller
+// gating acks on them must switch to crash handling instead of waiting
+// for more durability that will never come.
+func (e *Engine) DurableWatermark() (durable, total int, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.advanceWatermarkLocked(), len(e.records)
+	d := e.advanceWatermarkLocked()
+	if e.crashed {
+		return d, len(e.records), ErrCrashed
+	}
+	return d, len(e.records), nil
+}
+
+// StepDurable advances the durable watermark toward target without
+// blocking: it moves the cursor, and if target is not yet covered and
+// background persist machinery is scheduled, runs one BatchGap of
+// simulated time and moves the cursor again. dry reports that the
+// machinery has nothing scheduled — only new work or Close's final
+// drain can produce further durability. A worker interleaves StepDurable
+// with mailbox polls so waiting for durability never blinds it to
+// arriving requests (the queue_wait cost of the old WaitDurable loop).
+func (e *Engine) StepDurable(target int) (durable int, dry bool, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return e.durableCursor, false, fmt.Errorf("pmkv: engine closed")
+	}
+	d := e.advanceWatermarkLocked()
+	if d >= target {
+		return d, false, nil
+	}
+	if e.crashed {
+		return d, false, ErrCrashed
+	}
+	if e.m.Engine().Pending() == 0 {
+		return d, true, nil
+	}
+	if err := e.stepGapLocked(); err != nil {
+		return e.advanceWatermarkLocked(), false, err
+	}
+	return e.advanceWatermarkLocked(), false, nil
 }
 
 // RecordCount reports how many mutation records the engine has issued;
@@ -616,24 +774,64 @@ func (e *Engine) Close() (*machine.Result, error) {
 	return e.m.Drain()
 }
 
-// publishesByHead groups mutation records whose publish store committed,
-// per bucket-head line, sorted by committed version — the total publish
-// order NVRAM saw for each bucket.
-func publishesByHead(records []*OpRecord, tokens map[uint64]mem.Version) map[mem.Line][]*OpRecord {
-	byHead := make(map[mem.Line][]*OpRecord)
+// pub pairs a mutation record with the version its publish store
+// committed at.
+type pub struct {
+	r *OpRecord
+	v mem.Version
+}
+
+// publishesByBucket groups mutation records whose publish store
+// committed, per bucket, sorted by committed version — the total publish
+// order NVRAM saw for each bucket. It also reports the total publish
+// count, which pre-sizes the recovered-state map. Committed versions are
+// materialized once, and buckets index a plain slice: the sort
+// comparator and every downstream consumer (replay, edge construction,
+// the DL image) read pub.v with no map hashing per record — token
+// re-resolution and head-line hashing dominated large-store replay.
+func publishesByBucket(records []*OpRecord, tokens map[uint64]mem.Version, buckets int) ([][]pub, int) {
+	// Counting pass, then one flat backing array carved into per-bucket
+	// regions: no per-bucket append growth, one allocation for every
+	// bucket's list. The counts overcount (publishes that never retired
+	// are filtered in the fill pass), which only wastes capacity.
+	counts := make([]int, buckets)
+	mutations := 0
+	for _, r := range records {
+		if r.Op != Get {
+			counts[r.Bucket]++
+			mutations++
+		}
+	}
+	flat := make([]pub, mutations)
+	byBucket := make([][]pub, buckets)
+	off := 0
+	for b, c := range counts {
+		byBucket[b] = flat[off:off:off+c]
+		off += c
+	}
+	total := 0
 	for _, r := range records {
 		if r.Op == Get {
 			continue
 		}
-		if _, ok := tokens[r.PubToken]; !ok {
+		v, ok := tokens[r.PubToken]
+		if !ok {
 			continue // publish never retired before the crash
 		}
-		byHead[r.Head] = append(byHead[r.Head], r)
+		byBucket[r.Bucket] = append(byBucket[r.Bucket], pub{r: r, v: v})
+		total++
 	}
-	for _, recs := range byHead {
-		sort.Slice(recs, func(i, j int) bool {
-			return tokens[recs[i].PubToken] < tokens[recs[j].PubToken]
+	for _, recs := range byBucket {
+		slices.SortFunc(recs, func(a, b pub) int {
+			switch {
+			case a.v < b.v:
+				return -1
+			case a.v > b.v:
+				return 1
+			default:
+				return 0
+			}
 		})
 	}
-	return byHead
+	return byBucket, total
 }

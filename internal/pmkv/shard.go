@@ -69,6 +69,16 @@ type ShardedConfig struct {
 	// MaxBatch bounds how many mailbox requests one group commit drains
 	// (default 64).
 	MaxBatch int
+	// MinBatch is the floor of the adaptive batch size (default 8, clamped
+	// to MaxBatch). Workers start here, double the limit when a gather
+	// fills it with requests still queued behind it, and halve it when
+	// they have to block for work.
+	MinBatch int
+	// MaxInFlight bounds how many translated batches may be fed to the
+	// machine before one retire pump closes the commit window (default 2,
+	// clamped to 1..8). 1 disables pipelining: every batch pays for its
+	// own pump, the pre-v2 behavior.
+	MaxInFlight int
 	// ConfigureShard, when non-nil, is called with each shard's engine
 	// config before construction — the hook servers use to attach a
 	// per-shard observability probe.
@@ -91,6 +101,18 @@ func (c *ShardedConfig) fill() {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
+	}
+	if c.MinBatch <= 0 {
+		c.MinBatch = 8
+	}
+	if c.MinBatch > c.MaxBatch {
+		c.MinBatch = c.MaxBatch
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2
+	}
+	if c.MaxInFlight > 8 {
+		c.MaxInFlight = 8
 	}
 }
 
@@ -162,6 +184,8 @@ type shard struct {
 	deq       atomic.Uint64
 	batches   atomic.Uint64
 	batchOps  atomic.Uint64
+	batchHist telemetry.AtomicHist // group-commit size distribution
+	batchLim  atomic.Int64         // live adaptive batch limit
 	crashedFl atomic.Bool
 }
 
@@ -203,12 +227,14 @@ func NewSharded(cfg ShardedConfig) (*ShardedStore, error) {
 		if err != nil {
 			return nil, fmt.Errorf("pmkv: shard %d: %w", i, err)
 		}
-		s.shards = append(s.shards, &shard{
+		sh := &shard{
 			id:   i,
 			eng:  eng,
 			mail: make(chan shardJob, cfg.Mailbox),
 			open: true,
-		})
+		}
+		sh.batchLim.Store(int64(cfg.MinBatch))
+		s.shards = append(s.shards, sh)
 	}
 	for _, sh := range s.shards {
 		s.wg.Add(1)
@@ -295,170 +321,330 @@ func (s *ShardedStore) DoAsync(sess *ShardedSession, op Op, key string, value []
 	return id, nil
 }
 
-// pendingBatch is a group commit whose ops have retired (responses known)
-// but whose durability ack is still gated on the watermark.
+// pendingBatch is one group commit in flight: after Submit its volatile
+// responses are known (fed, awaiting retirement); after the retire pump
+// its durability ack is gated on the durable-prefix watermark.
 type pendingBatch struct {
 	jobs   []shardJob
 	resps  []Response
 	target int // RecordCount after this batch's Submit
 }
 
-// runShard is the shard's worker: the engine's single writer. It drains
-// the mailbox into group commits, pipelines them (batch k+1 translates
-// and feeds while batch k's epochs persist in the background), and
-// releases acks as the durable-prefix watermark advances.
+// shardWorker is runShard's per-goroutine state: the bounded in-flight
+// pipeline, the adaptive batch limit, and the slice pools that keep the
+// steady-state commit path free of allocations.
+type shardWorker struct {
+	s  *ShardedStore
+	sh *shard
+
+	open bool
+	// fed holds batches translated and fed to the machine but not yet
+	// retired; pending holds retired batches whose acks await the
+	// watermark. Feeding batch k+1 while batch k's persist traffic
+	// drains is the pipeline.
+	fed     []pendingBatch
+	pending []pendingBatch
+
+	// limit is the adaptive batch size in [MinBatch, MaxBatch].
+	limit int
+
+	// dry records that the persist machinery has nothing scheduled while
+	// acks are still gated: durability cannot advance until new work
+	// arrives, so the worker blocks instead of spinning on the mailbox.
+	dry bool
+
+	reqs     []Request // reusable Submit argument (the engine copies what it keeps)
+	jobFree  [][]shardJob
+	respFree [][]Response
+}
+
+// runShard is the shard's worker: the engine's single writer. Each pass
+// gathers a batch, translates and feeds it, and either goes straight
+// back for the next batch (window room and requests still queued — the
+// pump is deferred so translate overlaps the previous batches' persist
+// traffic) or pumps retirement and releases whatever acks the watermark
+// now covers.
 func (s *ShardedStore) runShard(sh *shard) {
-	var pending []pendingBatch
-	open := true
-	for open || len(pending) > 0 {
-		var batch []shardJob
-		if open {
-			if len(pending) == 0 {
-				// Nothing awaiting durability: block for work.
-				j, ok := <-sh.mail
-				if !ok {
-					open = false
-				} else {
-					j.span.Stamp(telemetry.StageDequeue)
-					batch = append(batch, j)
-					sh.deq.Add(1)
-				}
-			}
-		gather:
-			for open && len(batch) < s.cfg.MaxBatch {
-				select {
-				case j, ok := <-sh.mail:
-					if !ok {
-						open = false
-						break gather
-					}
-					j.span.Stamp(telemetry.StageDequeue)
-					batch = append(batch, j)
-					sh.deq.Add(1)
-				default:
-					break gather
-				}
-			}
+	w := &shardWorker{s: s, sh: sh, open: true, limit: int(sh.batchLim.Load())}
+	for w.open || len(w.fed)+len(w.pending) > 0 {
+		batch := w.gather()
+		if len(batch) == 0 {
+			w.putJobs(batch)
+		} else if !w.submit(batch) {
+			continue
 		}
-
-		if len(batch) > 0 {
-			pending = s.commit(sh, batch, pending)
+		if w.open && len(w.fed) > 0 && len(w.fed) < s.cfg.MaxInFlight && len(sh.mail) > 0 {
+			continue // pipeline: translate the next batch before pumping
 		}
-
-		// Release acks: if more work is queued, only harvest whatever the
-		// pumps already persisted; if the mailbox is idle, advance
-		// simulated time until the oldest pending batch is durable.
-		if len(pending) > 0 {
-			var durable int
-			var err error
-			if len(sh.mail) > 0 {
-				durable, _ = sh.eng.DurableWatermark()
-			} else {
-				durable, err = sh.eng.WaitDurable(pending[len(pending)-1].target)
-			}
-			if err == ErrCrashed {
-				s.crash(sh, &pending, nil)
-				continue
-			}
-			cycle := int64(sh.eng.Now())
-			for len(pending) > 0 && pending[0].target <= durable {
-				p := pending[0]
-				pending = pending[1:]
-				// These acks promise durability: record the obligation so
-				// the checker can hold the crash image to it.
-				sh.eng.DL().AckDurable(p.target)
-				for i, j := range p.jobs {
-					j.span.StampAt(telemetry.StageDurable, cycle)
-					j.deliver(ShardAck{Resp: p.resps[i], Shard: sh.id, Durable: durable})
-				}
-			}
-			if len(pending) > 0 && !open && sh.eng.Quiesced() {
-				// Mailbox closed and the machinery ran dry with acks still
-				// gated: only Close's final drain persists the rest. Ack
-				// now — Close runs the full drain before the recovery
-				// snapshot, so durability still precedes the snapshot (and
-				// the acks remain checker obligations).
-				for _, p := range pending {
-					sh.eng.DL().AckDurable(p.target)
-					for i, j := range p.jobs {
-						j.span.StampAt(telemetry.StageDurable, cycle)
-						j.deliver(ShardAck{Resp: p.resps[i], Shard: sh.id, Durable: durable})
-					}
-				}
-				pending = nil
-			}
+		if len(w.fed) > 0 && !w.pump() {
+			continue
 		}
+		w.release()
 	}
 }
 
-// commit runs one group commit through the engine. On a crash it flushes
-// every gated ack (flagged crashed) and notifies the store.
-func (s *ShardedStore) commit(sh *shard, batch []shardJob, pending []pendingBatch) []pendingBatch {
-	reqs := make([]Request, len(batch))
-	for i, j := range batch {
-		reqs[i] = j.req
-	}
-	resps, err := sh.eng.Submit(reqs)
-	if err == nil {
-		cycle := int64(sh.eng.Now())
-		for _, j := range batch {
-			j.span.StampAt(telemetry.StageTranslate, cycle)
+// gather drains up to limit requests from the mailbox without blocking —
+// unless the worker has nothing in flight (or the machinery is dry with
+// acks gated, so only new work can advance durability), in which case it
+// blocks for the first request. Blocking shrinks the adaptive limit;
+// filling it with requests still queued grows it.
+func (w *shardWorker) gather() []shardJob {
+	sh := w.sh
+	batch := w.takeJobs()
+	if w.open && (len(w.fed)+len(w.pending) == 0 || w.dry) {
+		j, ok := <-sh.mail
+		if !ok {
+			w.open = false
+			return batch
 		}
-		err = sh.eng.PumpRetire()
-		cycle = int64(sh.eng.Now())
-		for _, j := range batch {
-			j.span.StampAt(telemetry.StageSubmit, cycle)
+		j.span.Stamp(telemetry.StageDequeue)
+		batch = append(batch, j)
+		sh.deq.Add(1)
+		w.setLimit(w.limit / 2)
+	}
+	for w.open && len(batch) < w.limit {
+		select {
+		case j, ok := <-sh.mail:
+			if !ok {
+				w.open = false
+				return batch
+			}
+			j.span.Stamp(telemetry.StageDequeue)
+			batch = append(batch, j)
+			sh.deq.Add(1)
+		default:
+			return batch
 		}
 	}
+	if len(batch) == w.limit && len(sh.mail) > 0 {
+		w.setLimit(w.limit * 2)
+	}
+	return batch
+}
+
+// setLimit moves the adaptive batch limit, clamped to its config bounds,
+// publishing changes to the live gauge.
+func (w *shardWorker) setLimit(l int) {
+	if l < w.s.cfg.MinBatch {
+		l = w.s.cfg.MinBatch
+	}
+	if l > w.s.cfg.MaxBatch {
+		l = w.s.cfg.MaxBatch
+	}
+	if l != w.limit {
+		w.limit = l
+		w.sh.batchLim.Store(int64(l))
+	}
+}
+
+// submit translates and feeds one batch. No simulated time passes: the
+// machine only schedules the ops, so earlier batches' persist traffic
+// keeps draining underneath. Reports false when the batch was refused
+// and the main loop should re-evaluate from the top.
+func (w *shardWorker) submit(batch []shardJob) bool {
+	sh := w.sh
+	w.reqs = w.reqs[:0]
+	for i := range batch {
+		w.reqs = append(w.reqs, batch[i].req)
+	}
+	resps, err := sh.eng.SubmitAppend(w.takeResps(), w.reqs)
 	switch {
 	case err == nil:
+		cycle := int64(sh.eng.Now())
+		for i := range batch {
+			batch[i].span.StampAt(telemetry.StageTranslate, cycle)
+		}
+		sh.batchHist.Observe(uint64(len(batch)))
 		sh.batches.Add(1)
 		sh.batchOps.Add(uint64(len(batch)))
-		return append(pending, pendingBatch{jobs: batch, resps: resps, target: sh.eng.RecordCount()})
+		w.fed = append(w.fed, pendingBatch{jobs: batch, resps: resps, target: sh.eng.RecordCount()})
+		w.dry = false
+		return true
 	case err == ErrCrashed:
-		// The machine lost power. If Submit completed, this batch was
-		// applied: its clients get volatile responses flagged crashed.
-		// Anything still gated from earlier batches is flagged too —
-		// recovery, not the watermark, now judges durability.
-		s.crash(sh, &pending, func() {
-			cycle := int64(sh.eng.Now())
-			if len(resps) == len(batch) {
-				for i, j := range batch {
-					j.span.StampAt(telemetry.StageDurable, cycle)
-					j.deliver(ShardAck{Resp: resps[i], Shard: sh.id, Crashed: true})
-				}
-			} else {
-				for _, j := range batch {
-					j.deliver(ShardAck{Shard: sh.id, Err: ErrCrashed})
-				}
-			}
-		})
-		return nil
-	default:
-		for _, j := range batch {
-			j.deliver(ShardAck{Shard: sh.id, Err: err})
+		// The machine lost power before this batch could be fed (Submit
+		// refuses wholesale once crashed): its clients see the error, and
+		// everything in flight gets crashed acks.
+		w.crashFlush()
+		for i := range batch {
+			batch[i].deliver(ShardAck{Shard: sh.id, Err: ErrCrashed})
 		}
-		return pending
+		w.putJobs(batch)
+		return false
+	default:
+		for i := range batch {
+			batch[i].deliver(ShardAck{Shard: sh.id, Err: err})
+		}
+		w.putJobs(batch)
+		return false
 	}
 }
 
-// crash marks the shard crashed, flushes gated acks (flagged crashed),
-// delivers the crashing batch's acks via deliver, and fires OnCrash once.
-func (s *ShardedStore) crash(sh *shard, pending *[]pendingBatch, deliver func()) {
+// pump retires everything fed since the last pump: one PumpRetire closes
+// the commit window for every in-flight batch at once, and their acks
+// move to the watermark gate. Reports false on a crash (pipeline state
+// was flushed).
+func (w *shardWorker) pump() bool {
+	sh := w.sh
+	err := sh.eng.PumpRetire()
+	switch {
+	case err == nil:
+		cycle := int64(sh.eng.Now())
+		for _, p := range w.fed {
+			for i := range p.jobs {
+				p.jobs[i].span.StampAt(telemetry.StageSubmit, cycle)
+			}
+		}
+		w.pending = append(w.pending, w.fed...)
+		w.fed = w.fed[:0]
+		return true
+	case err == ErrCrashed:
+		// The machine lost power mid-retire. The fed batches were applied:
+		// their clients get volatile responses flagged crashed — recovery,
+		// not the watermark, now judges durability.
+		w.crashFlush()
+		return false
+	default:
+		for _, p := range w.fed {
+			for i := range p.jobs {
+				p.jobs[i].deliver(ShardAck{Shard: sh.id, Err: err})
+			}
+			w.recycle(p)
+		}
+		w.fed = w.fed[:0]
+		return true
+	}
+}
+
+// release delivers acks for retired batches the durable watermark
+// covers. With requests queued behind it the watermark is only polled
+// (and a crash surfaced there is routed to the flush, where the pre-v2
+// busy path dropped the error and waited for durability that could
+// never come); with an idle mailbox one BatchGap of simulated time
+// advances per call, so the worker re-polls the mailbox between gap
+// steps instead of going blind inside the old WaitDurable loop.
+func (w *shardWorker) release() {
+	sh := w.sh
+	if len(w.pending) == 0 {
+		return
+	}
+	var durable int
+	var dry bool
+	var err error
+	if len(sh.mail) > 0 {
+		durable, _, err = sh.eng.DurableWatermark()
+	} else {
+		durable, dry, err = sh.eng.StepDurable(w.pending[len(w.pending)-1].target)
+	}
+	switch {
+	case err == ErrCrashed:
+		w.crashFlush()
+		return
+	case err != nil:
+		for _, p := range w.pending {
+			for i := range p.jobs {
+				p.jobs[i].deliver(ShardAck{Shard: sh.id, Err: err})
+			}
+			w.recycle(p)
+		}
+		w.pending = w.pending[:0]
+		return
+	}
 	cycle := int64(sh.eng.Now())
-	for _, p := range *pending {
-		for i, j := range p.jobs {
-			j.span.StampAt(telemetry.StageDurable, cycle)
-			j.deliver(ShardAck{Resp: p.resps[i], Shard: sh.id, Crashed: true})
+	for len(w.pending) > 0 && w.pending[0].target <= durable {
+		p := w.pending[0]
+		n := copy(w.pending, w.pending[1:])
+		w.pending[n] = pendingBatch{}
+		w.pending = w.pending[:n]
+		// These acks promise durability: record the obligation so the
+		// checker can hold the crash image to it.
+		sh.eng.DL().AckDurable(p.target)
+		for i := range p.jobs {
+			p.jobs[i].span.StampAt(telemetry.StageDurable, cycle)
+			p.jobs[i].deliver(ShardAck{Resp: p.resps[i], Shard: sh.id, Durable: durable})
+		}
+		w.recycle(p)
+	}
+	if len(w.pending) == 0 {
+		w.dry = false
+		return
+	}
+	if !w.open && sh.eng.Quiesced() {
+		// Mailbox closed and the machinery ran dry with acks still gated:
+		// only Close's final drain persists the rest. Ack now — Close runs
+		// the full drain before the recovery snapshot, so durability still
+		// precedes the snapshot (and the acks remain checker obligations).
+		for _, p := range w.pending {
+			sh.eng.DL().AckDurable(p.target)
+			for i := range p.jobs {
+				p.jobs[i].span.StampAt(telemetry.StageDurable, cycle)
+				p.jobs[i].deliver(ShardAck{Resp: p.resps[i], Shard: sh.id, Durable: durable})
+			}
+			w.recycle(p)
+		}
+		w.pending = w.pending[:0]
+		return
+	}
+	w.dry = dry
+}
+
+// crashFlush delivers crashed acks for everything in flight — retired
+// batches still gated and fed batches whose retirement raced the power
+// loss — then fires OnCrash once.
+func (w *shardWorker) crashFlush() {
+	sh := w.sh
+	cycle := int64(sh.eng.Now())
+	for _, list := range [2][]pendingBatch{w.pending, w.fed} {
+		for _, p := range list {
+			for i := range p.jobs {
+				p.jobs[i].span.StampAt(telemetry.StageDurable, cycle)
+				p.jobs[i].deliver(ShardAck{Resp: p.resps[i], Shard: sh.id, Crashed: true})
+			}
+			w.recycle(p)
 		}
 	}
-	*pending = nil
-	if deliver != nil {
-		deliver()
+	w.pending = w.pending[:0]
+	w.fed = w.fed[:0]
+	if sh.crashedFl.CompareAndSwap(false, true) && w.s.cfg.OnCrash != nil {
+		w.s.cfg.OnCrash(sh.id)
 	}
-	if sh.crashedFl.CompareAndSwap(false, true) && s.cfg.OnCrash != nil {
-		s.cfg.OnCrash(sh.id)
+}
+
+// takeJobs pops a pooled gather buffer (capacity MaxBatch).
+func (w *shardWorker) takeJobs() []shardJob {
+	if n := len(w.jobFree); n > 0 {
+		b := w.jobFree[n-1]
+		w.jobFree = w.jobFree[:n-1]
+		return b
 	}
+	return make([]shardJob, 0, w.s.cfg.MaxBatch)
+}
+
+// putJobs clears a job slice (dropping the completion-channel, span, and
+// request-value references its slots pin) and returns it to the pool.
+func (w *shardWorker) putJobs(jobs []shardJob) {
+	for i := range jobs {
+		jobs[i] = shardJob{}
+	}
+	w.jobFree = append(w.jobFree, jobs[:0])
+}
+
+// takeResps pops a pooled response buffer for SubmitAppend.
+func (w *shardWorker) takeResps() []Response {
+	if n := len(w.respFree); n > 0 {
+		b := w.respFree[n-1]
+		w.respFree = w.respFree[:n-1]
+		return b
+	}
+	return make([]Response, 0, w.s.cfg.MaxBatch)
+}
+
+// recycle returns a delivered batch's slices to the pools.
+func (w *shardWorker) recycle(p pendingBatch) {
+	w.putJobs(p.jobs)
+	for i := range p.resps {
+		p.resps[i] = Response{}
+	}
+	w.respFree = append(w.respFree, p.resps[:0])
 }
 
 // Crashed reports whether any shard has hit its crash instant.
@@ -480,26 +666,32 @@ type ShardMetrics struct {
 	MailboxCap int       `json:"mailbox_cap"`
 	Batches    uint64    `json:"batches"`
 	AvgBatch   float64   `json:"avg_batch"`
+	BatchLimit int       `json:"batch_limit"` // live adaptive batch limit
 	Durable    int       `json:"durable_publishes"`
 	Total      int       `json:"total_publishes"`
 	Cycle      sim.Cycle `json:"cycle"`
 	Crashed    bool      `json:"crashed,omitempty"`
+	// BatchSizes is the group-commit size distribution (power-of-two
+	// buckets; Counts[b] holds batches of size in (2^(b-1)-1, 2^b-1]).
+	BatchSizes telemetry.HistSnapshot `json:"batch_sizes"`
 }
 
 // Metrics snapshots every shard's pipeline state.
 func (s *ShardedStore) Metrics() []ShardMetrics {
 	out := make([]ShardMetrics, len(s.shards))
 	for i, sh := range s.shards {
-		d, total := sh.eng.DurableWatermark()
+		d, total, _ := sh.eng.DurableWatermark()
 		m := ShardMetrics{
 			Shard:      i,
 			QueueDepth: sh.queueDepth(),
 			MailboxCap: s.cfg.Mailbox,
 			Batches:    sh.batches.Load(),
+			BatchLimit: int(sh.batchLim.Load()),
 			Durable:    d,
 			Total:      total,
 			Cycle:      sh.eng.Now(),
 			Crashed:    sh.crashedFl.Load(),
+			BatchSizes: sh.batchHist.Snapshot(),
 		}
 		if m.Batches > 0 {
 			m.AvgBatch = float64(sh.batchOps.Load()) / float64(m.Batches)
@@ -554,27 +746,39 @@ func (s *ShardedStore) Close() ([]ShardResult, error) {
 		return s.results, fmt.Errorf("pmkv: store closed")
 	}
 	s.closed = true
-	var firstErr error
+	// Shards share no state, so their final drains and verifications run
+	// concurrently; results land in shard order regardless.
+	results := make([]ShardResult, len(s.shards))
+	var wg sync.WaitGroup
 	for _, sh := range s.shards {
-		r := ShardResult{Shard: sh.id, Crashed: sh.eng.Crashed(), Cycles: sh.eng.Now()}
-		res, err := sh.eng.Close()
-		if err != nil {
-			r.Err = err
-		} else {
-			r.Report, r.Err = sh.eng.Verify(res)
-			if r.Err == nil {
-				r.Recovered, r.Err = sh.eng.RecoveredState(res)
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			r := ShardResult{Shard: sh.id, Crashed: sh.eng.Crashed(), Cycles: sh.eng.Now()}
+			res, err := sh.eng.Close()
+			if err != nil {
+				r.Err = err
+			} else {
+				r.Report, r.Err = sh.eng.Verify(res)
+				if r.Err == nil {
+					r.Recovered, r.Err = sh.eng.RecoveredState(res)
+				}
+				r.DL = sh.eng.CheckDL(res)
+				if r.Err == nil && r.DL != nil {
+					r.Err = r.DL.Err()
+				}
 			}
-			r.DL = sh.eng.CheckDL(res)
-			if r.Err == nil && r.DL != nil {
-				r.Err = r.DL.Err()
-			}
-		}
-		if r.Err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("pmkv: shard %d: %w", sh.id, r.Err)
-		}
-		s.results = append(s.results, r)
+			results[sh.id] = r
+		}(sh)
 	}
+	wg.Wait()
+	var firstErr error
+	for i := range results {
+		if results[i].Err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("pmkv: shard %d: %w", results[i].Shard, results[i].Err)
+		}
+	}
+	s.results = results
 	return s.results, firstErr
 }
 

@@ -8,7 +8,9 @@ package pmkv
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"persistbarriers/internal/machine"
 	"persistbarriers/internal/mem"
@@ -56,23 +58,19 @@ func durable(image map[mem.Line]mem.Version, l mem.Line, v mem.Version) bool {
 func (e *Engine) Verify(res *machine.Result) (*Report, error) {
 	e.mu.Lock()
 	records := e.records
+	buckets := e.cfg.Buckets
+	workers := e.cfg.RecoveryWorkers
 	e.mu.Unlock()
 
 	g := recovery.NewGraph(res.Histories)
 	rep := &Report{Epochs: len(g.Epochs())}
 
-	byHead := publishesByHead(records, res.TokenVersions)
-	heads := make([]mem.Line, 0, len(byHead))
-	for h := range byHead {
-		heads = append(heads, h)
-	}
-	sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
-	for _, h := range heads {
-		recs := byHead[h]
+	byBucket, total := publishesByBucket(records, res.TokenVersions, buckets)
+	for _, recs := range byBucket {
 		rep.TotalPublishes += len(recs)
 		for i := 1; i < len(recs); i++ {
-			prev, ok1 := g.WriterOf(res.TokenVersions[recs[i-1].PubToken])
-			next, ok2 := g.WriterOf(res.TokenVersions[recs[i].PubToken])
+			prev, ok1 := g.WriterOf(recs[i-1].v)
+			next, ok2 := g.WriterOf(recs[i].v)
 			if !ok1 || !ok2 {
 				// The writing epoch was still open at the crash; its
 				// writes cannot be durable and no edge is needed.
@@ -83,7 +81,7 @@ func (e *Engine) Verify(res *machine.Result) (*Report, error) {
 		}
 	}
 
-	if err := recovery.CheckOrdering(g, res.Image); err != nil {
+	if err := recovery.CheckOrderingParallel(g, res.Image, workers); err != nil {
 		return rep, fmt.Errorf("pmkv: epoch-order violation: %w", err)
 	}
 	if err := recovery.CheckPersistedClosed(g, res.Image); err != nil {
@@ -116,7 +114,7 @@ func (e *Engine) Verify(res *machine.Result) (*Report, error) {
 		return rep, errors.Join(errs...)
 	}
 
-	state, err := e.RecoveredState(res)
+	state, err := e.replayState(byBucket, total, res, buckets, workers)
 	if err != nil {
 		return rep, err
 	}
@@ -199,32 +197,132 @@ func (e *Engine) RecoveredState(res *machine.Result) (map[string][]byte, error) 
 	e.mu.Lock()
 	records := e.records
 	buckets := e.cfg.Buckets
+	workers := e.cfg.RecoveryWorkers
 	e.mu.Unlock()
 
-	byHead := publishesByHead(records, res.TokenVersions)
-	state := make(map[string][]byte)
-	for b := 0; b < buckets; b++ {
-		h := e.headLine(b)
-		hv := res.Image[h]
-		if hv == mem.NoVersion {
-			continue
+	byBucket, total := publishesByBucket(records, res.TokenVersions, buckets)
+	return e.replayState(byBucket, total, res, buckets, workers)
+}
+
+// tombstone marks a key whose newest durable publish in its bucket is a
+// Delete during the backward replay; identity (not value) distinguishes
+// it from any user value. replayBucket removes every tombstone before
+// returning, so it never escapes into recovered state.
+var tombstone = []byte{0}
+
+// replayBucket folds one bucket's durable publish prefix into state. The
+// bucket's contents are the deltas of its publishes up to the durable
+// head version, in commit order. The walk runs backward — newest durable
+// publish first — so each key costs one map assignment (its final value)
+// instead of one per overwrite; older publishes of an already-decided
+// key only pay a lookup. dead is a reused scratch buffer for keys whose
+// final publish is a Delete.
+func (e *Engine) replayBucket(byBucket [][]pub, res *machine.Result, b int, state map[string][]byte, dead *[]string) error {
+	h := e.headLine(b)
+	hv := res.Image[h]
+	if hv == mem.NoVersion {
+		return nil
+	}
+	recs := byBucket[b]
+	// Durable prefix boundary: versions of one head line are distinct and
+	// recs is version-sorted, so a matching publish is exactly at the
+	// boundary's left edge.
+	idx := sort.Search(len(recs), func(i int) bool { return recs[i].v > hv })
+	if idx == 0 || recs[idx-1].v != hv {
+		return fmt.Errorf("pmkv: bucket %d head holds version %d with no matching publish", b, hv)
+	}
+	tombs := (*dead)[:0]
+	for i := idx - 1; i >= 0; i-- {
+		r := recs[i].r
+		if _, decided := state[r.Key]; decided {
+			continue // a newer durable publish already fixed this key
 		}
-		matched := false
-		for _, r := range byHead[h] {
-			v := res.TokenVersions[r.PubToken]
-			if v > hv {
-				break // committed after the durable head; lost at the crash
-			}
-			matched = matched || v == hv
-			switch r.Op {
-			case Put:
-				state[r.Key] = r.Value
-			case Delete:
-				delete(state, r.Key)
+		if r.Op == Delete {
+			state[r.Key] = tombstone
+			tombs = append(tombs, r.Key)
+		} else {
+			state[r.Key] = r.Value
+		}
+	}
+	for _, k := range tombs {
+		delete(state, k)
+	}
+	*dead = tombs[:0]
+	return nil
+}
+
+// replayState replays every bucket's durable publish prefix. Buckets
+// partition the keyspace (each key hashes to exactly one bucket and one
+// head line), so their replays touch disjoint keys and run concurrently:
+// worker w owns buckets congruent to w, builds a private map, and the
+// partials merge after the join. Any worker count yields byte-identical
+// state; on error the lowest failing bucket's error is returned, exactly
+// as a serial scan would report it.
+func (e *Engine) replayState(byBucket [][]pub, total int, res *machine.Result, buckets, workers int) (map[string][]byte, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > buckets {
+		workers = buckets
+	}
+	if workers <= 1 {
+		// Pre-sized at the publish count: distinct keys can only be fewer,
+		// and incremental map growth is a large fraction of replay cost.
+		state := make(map[string][]byte, total)
+		var dead []string
+		for b := 0; b < buckets; b++ {
+			if err := e.replayBucket(byBucket, res, b, state, &dead); err != nil {
+				return nil, err
 			}
 		}
-		if !matched {
-			return nil, fmt.Errorf("pmkv: bucket %d head holds version %d with no matching publish", b, hv)
+		return state, nil
+	}
+
+	type part struct {
+		state     map[string][]byte
+		err       error
+		errBucket int
+	}
+	parts := make([]part, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := &parts[w]
+			p.state = make(map[string][]byte, total/workers+1)
+			p.errBucket = buckets
+			var dead []string
+			for b := w; b < buckets; b += workers {
+				if err := e.replayBucket(byBucket, res, b, p.state, &dead); err != nil {
+					// First error is this worker's lowest failing bucket
+					// (ascending stride); the merge discards all state.
+					p.err, p.errBucket = err, b
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	n := 0
+	for w := range parts {
+		if parts[w].err != nil {
+			// Deterministic across worker counts: lowest bucket wins.
+			lowest := &parts[w]
+			for v := w + 1; v < workers; v++ {
+				if parts[v].err != nil && parts[v].errBucket < lowest.errBucket {
+					lowest = &parts[v]
+				}
+			}
+			return nil, lowest.err
+		}
+		n += len(parts[w].state)
+	}
+	state := make(map[string][]byte, n)
+	for w := range parts {
+		for k, v := range parts[w].state {
+			state[k] = v
 		}
 	}
 	return state, nil

@@ -13,7 +13,9 @@ package recovery
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"persistbarriers/internal/epoch"
 	"persistbarriers/internal/mem"
@@ -118,6 +120,17 @@ func (g *Graph) WriterOf(v mem.Version) (epoch.ID, bool) {
 	return id, ok
 }
 
+// durableAll is fullyDurable without the sorted line report: the fast
+// screening passes only need a verdict, not a deterministic witness.
+func durableAll(s *epoch.Summary, image map[mem.Line]mem.Version) bool {
+	for l, v := range s.Writes {
+		if image[l] < v {
+			return false
+		}
+	}
+	return true
+}
+
 // fullyDurable reports whether every final write of epoch s is reflected
 // in the image (possibly superseded by a later version, which the conflict
 // rules only permit after s persisted).
@@ -159,12 +172,61 @@ func (v *OrderingViolation) Error() string {
 		v.Later, v.Earlier, v.Line)
 }
 
+// requiredDurable computes the set of epochs the ordering invariant
+// obliges to be fully durable: the transitive happens-before
+// predecessors of every epoch with a durable footprint. One reverse
+// closure over the whole graph — O(epochs + edges) — instead of a
+// transitive walk per touched epoch, which made clean-image checking
+// quadratic and dominated live-server drains.
+func requiredDurable(g *Graph, image map[mem.Line]mem.Version) []epoch.ID {
+	required := make(map[epoch.ID]bool, len(g.order))
+	var stack, out []epoch.ID
+	for _, id := range g.order {
+		if touched(g.epochs[id], image) {
+			stack = append(stack, g.preds[id]...)
+		}
+	}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if required[p] || g.epochs[p] == nil {
+			continue
+		}
+		required[p] = true
+		out = append(out, p)
+		stack = append(stack, g.preds[p]...)
+	}
+	return out
+}
+
 // CheckOrdering verifies the fundamental epoch-ordering invariant of every
 // buffered persistency model: if any line of epoch E is durable, every
 // epoch that happens-before E is fully durable. It returns the first
 // violation found, or nil.
+//
+// Clean images — the overwhelmingly common case — are decided by the
+// linear-time screening (requiredDurable + one durability scan per
+// epoch). Only when that screening finds a failure does the original
+// per-epoch scan run, to produce the exact deterministic violation the
+// serial order defines.
 func CheckOrdering(g *Graph, image map[mem.Line]mem.Version) error {
-	for _, id := range g.order {
+	for _, id := range requiredDurable(g, image) {
+		if !durableAll(g.epochs[id], image) {
+			if v := checkOrderingRange(g, image, 0, 1, len(g.order)); v != nil {
+				return v
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// checkOrderingRange scans epochs at indices start, start+stride, ... of
+// g.order (up to bound), returning the violation at the lowest index, or
+// nil. It only reads the graph, so strided scans may run concurrently.
+func checkOrderingRange(g *Graph, image map[mem.Line]mem.Version, start, stride, bound int) *OrderingViolation {
+	for i := start; i < bound; i += stride {
+		id := g.order[i]
 		s := g.epochs[id]
 		if !touched(s, image) {
 			continue
@@ -182,10 +244,85 @@ func CheckOrdering(g *Graph, image map[mem.Line]mem.Version) error {
 	return nil
 }
 
+// CheckOrderingParallel is CheckOrdering fanned across workers: the
+// linear-time screening's per-epoch durability scans stride across
+// goroutines (they are independent reads of the graph and image). The
+// result is deterministic regardless of worker count — if any worker's
+// share fails the screening, the serial precise scan runs and reports
+// the violation at the lowest epoch index, exactly what CheckOrdering
+// reports. workers <= 0 means GOMAXPROCS. The graph must not be mutated
+// (no AddEdge) while the check runs.
+func CheckOrderingParallel(g *Graph, image map[mem.Line]mem.Version, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(g.order) {
+		workers = len(g.order)
+	}
+	if workers <= 1 {
+		return CheckOrdering(g, image)
+	}
+	required := requiredDurable(g, image)
+	if workers > len(required) {
+		workers = len(required)
+	}
+	failed := make([]bool, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(required); i += workers {
+				if !durableAll(g.epochs[required[i]], image) {
+					failed[w] = true
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, f := range failed {
+		if f {
+			if v := checkOrderingRange(g, image, 0, 1, len(g.order)); v != nil {
+				return v
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
 // CheckPersistedClosed verifies that the set of epochs the hardware
 // declared persisted is downward-closed under happens-before and fully
 // durable in the image.
+//
+// The screening checks each persisted epoch's durability once and its
+// DIRECT predecessors' flags — sufficient, because a set closed under
+// direct predecessors is closed under the transitive relation by
+// induction over the DAG. Only on failure does the original
+// transitive-walk scan run, preserving the exact deterministic error.
 func CheckPersistedClosed(g *Graph, image map[mem.Line]mem.Version) error {
+	clean := true
+screen:
+	for _, id := range g.order {
+		s := g.epochs[id]
+		if !s.PersistedFlag {
+			continue
+		}
+		if !durableAll(s, image) {
+			clean = false
+			break
+		}
+		for _, pid := range g.preds[id] {
+			if ps := g.epochs[pid]; ps != nil && !ps.PersistedFlag {
+				clean = false
+				break screen
+			}
+		}
+	}
+	if clean {
+		return nil
+	}
 	for _, id := range g.order {
 		s := g.epochs[id]
 		if !s.PersistedFlag {

@@ -101,6 +101,15 @@ func appendHistogram(dst []byte, name, labels string, h HistSnapshot, scale floa
 	return dst
 }
 
+// AppendHistogram renders one HistSnapshot as a Prometheus histogram
+// (cumulative pow-2 buckets, +Inf, _sum, _count). scale converts the
+// observed unit to the exposition unit (1 for dimensionless values like
+// batch sizes; 1e-9 for nanoseconds to seconds). The caller appends the
+// # HELP / # TYPE preamble once via AppendMetricHeader.
+func AppendHistogram(dst []byte, name, labels string, h HistSnapshot, scale float64) []byte {
+	return appendHistogram(dst, name, labels, h, scale)
+}
+
 // StageMetricName is the exposition name of the per-segment duration
 // histograms.
 const StageMetricName = "pmkv_stage_duration_seconds"

@@ -155,6 +155,16 @@ func (b *Builder) TxEnd() *Builder {
 // Ops returns the accumulated trace.
 func (b *Builder) Ops() []Op { return b.ops }
 
+// Reset empties the builder while keeping its backing buffer, so a hot
+// path can translate many requests through one builder without
+// reallocating. The slice returned by a prior Ops call is invalidated —
+// only callers that copy (or fully consume) the ops before the next
+// Reset may use it.
+func (b *Builder) Reset() *Builder {
+	b.ops = b.ops[:0]
+	return b
+}
+
 // Len reports the number of accumulated ops.
 func (b *Builder) Len() int { return len(b.ops) }
 

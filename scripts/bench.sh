@@ -5,9 +5,10 @@
 #
 #   -quick            run only the headline benchmarks (Fig4 kernel,
 #                     simulator core, machine construction, pmkv shard
-#                     scaling, wire-protocol pipeline) — the CI gate
+#                     scaling, engine op cost, wire-protocol pipeline)
+#                     — the CI gate
 #   -out FILE         where to write the aggregated JSON
-#                     (default BENCH_PR8.json)
+#                     (default BENCH_PR9.json)
 #   -compare BASELINE also compare against a committed baseline JSON and
 #                     fail on >10% ns/op regression (see cmd/benchjson)
 #   -count N          runs per benchmark (default 7 quick / 5 full)
@@ -23,7 +24,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=0
-out=BENCH_PR8.json
+out=BENCH_PR9.json
 compare=""
 count=""
 while [ $# -gt 0 ]; do
@@ -49,7 +50,7 @@ while [ $# -gt 0 ]; do
     shift
 done
 
-headline='^(BenchmarkFig4IDT|BenchmarkSimulatorCore|BenchmarkTable1Config|BenchmarkPmkvShardScaling)$'
+headline='^(BenchmarkFig4IDT|BenchmarkSimulatorCore|BenchmarkTable1Config|BenchmarkPmkvShardScaling|BenchmarkEngineOpCost)$'
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
@@ -66,6 +67,13 @@ go test -run '^$' -bench "$headline" -benchmem -benchtime 20x -count "$hcount" .
 # bounded; 3 repeats give cmd/benchjson a median.
 go test -run '^$' -bench '^BenchmarkProtoPipeline$' -benchtime 2000x \
     -count "${count:-3}" ./cmd/pmkvd | tee -a "$tmp"
+
+# Recovery replay vs store size: the pre-v2 replay (map lookups inside
+# the sort comparators, serial bucket loop) against the optimized serial
+# and parallel paths. Duration targeting is fine here — each iteration
+# is a pure in-memory replay over a prebuilt crash image.
+go test -run '^$' -bench '^BenchmarkParallelRecovery$' -benchtime 10x \
+    -count "${count:-3}" ./internal/pmkv | tee -a "$tmp"
 
 args=(-out "$out")
 if [ -n "$compare" ]; then
