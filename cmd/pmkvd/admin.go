@@ -166,10 +166,22 @@ func (s *server) renderMetrics(dst []byte) []byte {
 			func(m pmkv.ShardMetrics) float64 { return m.AvgBatch }},
 		{"pmkv_shard_batch_limit", "Live adaptive batch-size limit.",
 			func(m pmkv.ShardMetrics) float64 { return float64(m.BatchLimit) }},
+		{"pmkv_read_fast_hits_total", "GETs served from the committed-state index, bypassing the mailbox.",
+			func(m pmkv.ShardMetrics) float64 { return float64(m.FastHits) }},
+		{"pmkv_read_fallback_total", "GETs that fell back to the mailbox (pending writes, drain, or crash).",
+			func(m pmkv.ShardMetrics) float64 { return float64(m.FastFallbacks) }},
+		{"pmkv_read_index_published", "Mutation records folded into the read index (durable watermark).",
+			func(m pmkv.ShardMetrics) float64 { return float64(m.ReadPublished) }},
+	}
+	counterNames := map[string]bool{
+		"pmkv_shard_batches_total":   true,
+		"pmkv_shard_publishes_total": true,
+		"pmkv_read_fast_hits_total":  true,
+		"pmkv_read_fallback_total":   true,
 	}
 	for _, g := range gauges {
 		typ := "gauge"
-		if g.name == "pmkv_shard_batches_total" || g.name == "pmkv_shard_publishes_total" {
+		if counterNames[g.name] {
 			typ = "counter"
 		}
 		dst = telemetry.AppendMetricHeader(dst, g.name, typ, g.help)

@@ -37,7 +37,8 @@ type binRec struct {
 	results   []proto.Result
 	errMsg    string
 	crashed   bool
-	shard     int // subop 0's shard (-1: never routed)
+	fast      bool // every subop served from the read index
+	shard     int  // subop 0's shard (-1: never routed)
 	durable   int
 	key0      string // subop 0's key, for the tracer (copied: frames reuse their buffer)
 	traced    bool
@@ -201,6 +202,7 @@ func (r *binRec) init(req *proto.Request, n int) {
 	}
 	r.errMsg = ""
 	r.crashed = false
+	r.fast = true
 	r.shard = -1
 	r.durable = 0
 	r.key0 = ""
@@ -242,6 +244,9 @@ func (bc *binConn) apply(rec *binRec, sub int, ack pmkv.ShardAck) {
 		if ack.Crashed {
 			rec.crashed = true
 		}
+		if !ack.Fast {
+			rec.fast = false
+		}
 		if sub == 0 {
 			rec.durable = ack.Durable
 		}
@@ -276,6 +281,12 @@ func (bc *binConn) writeLoop(writerDone chan struct{}) {
 			if rec.traced && !discard {
 				span := &bc.spans[ri]
 				span.Stamp(telemetry.StageAckWritten)
+				if (rec.op == proto.OpGet || rec.op == proto.OpMGet) && rec.errMsg == "" {
+					d := span.Wall[telemetry.StageAckWritten] - span.Wall[telemetry.StageConnRead]
+					if d > 0 {
+						bc.s.tracer.ObserveReadPath(rec.shard, rec.fast, uint64(d))
+					}
+				}
 				bc.s.tracer.Complete(rec.shard, span, telemetry.Meta{
 					Op:      rec.op.String(),
 					Sess:    bc.sess.ID,

@@ -61,12 +61,13 @@ type diffServer struct {
 	conn net.Conn
 }
 
-func newDiffServer(t testing.TB) *diffServer {
+func newDiffServer(t testing.TB, disableFast bool) *diffServer {
 	t.Helper()
 	cfg := pmkv.ShardedConfig{
-		Shards:   2,
-		Engine:   pmkv.Config{Machine: pmkv.SmallMachine(), Buckets: 16, Check: true},
-		MaxBatch: 8,
+		Shards:          2,
+		Engine:          pmkv.Config{Machine: pmkv.SmallMachine(), Buckets: 16, Check: true},
+		MaxBatch:        8,
+		DisableReadFast: disableFast,
 	}
 	s, err := newServer(cfg, serverOpts{window: 8})
 	if err != nil {
@@ -220,27 +221,38 @@ func runBinary(t testing.TB, conn net.Conn, ops []diffOp) []diffOutcome {
 
 // FuzzProtoVsJSON is the differential fuzz over the two wire protocols:
 // the same op stream runs through a JSON-line connection on one server
-// and a pipelined binary connection on another (identical configs,
-// checker on). Both must produce identical per-op outcomes, identical
-// recovered-state fingerprints after a clean drain, and clean durable-
-// linearizability verdicts. Crash instants are excluded by design —
-// batching differences change simulated crash timing — so this target
-// pins semantic equivalence of the transports, while the dlcheck fuzzer
-// covers crashes.
+// and a pipelined binary connection on another (identical engine
+// configs, checker on). Both must produce identical per-op outcomes,
+// identical recovered-state fingerprints after a clean drain, and clean
+// durable-linearizability verdicts. The GET read fast path is toggled
+// independently per side from the input bytes, so the fuzzer also pins
+// fast-vs-mailbox equivalence: a session with no pending writes must
+// observe the same answers whichever path serves its reads. Crash
+// instants are excluded by design — batching differences change
+// simulated crash timing — so this target pins semantic equivalence of
+// the transports, while the dlcheck fuzzer covers crashes.
 func FuzzProtoVsJSON(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{1, 0, 0, 0, 0, 0})                   // put k0; get k0
-	f.Add([]byte{4, 0x35, 7, 3, 0x21, 1, 2, 0, 0})    // mset; mget; del
-	f.Add([]byte{1, 1, 1, 1, 1, 2, 2, 1, 0, 0, 1, 0}) // overwrite then delete then read
-	f.Add(bytes.Repeat([]byte{3, 0x75, 9}, 8))        // mget storm
+	f.Add([]byte{1, 0, 0, 0, 0, 0})                            // put k0; get k0
+	f.Add([]byte{4, 0x35, 7, 3, 0x21, 1, 2, 0, 0})             // mset; mget; del
+	f.Add([]byte{1, 1, 1, 1, 1, 2, 2, 1, 0, 0, 1, 0})          // overwrite then delete then read
+	f.Add(bytes.Repeat([]byte{3, 0x75, 9}, 8))                 // mget storm
+	f.Add([]byte{0, 3, 0, 1, 3, 3, 0, 3, 0, 2, 3, 0, 0, 3, 0}) // read-heavy, toggles flipped
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ops := decodeDiffCase(data)
+		// Fold the input into per-side fast-path toggles: all four on/off
+		// combinations appear across the corpus, including asymmetric ones
+		// where only one transport serves reads from the index.
+		var fold byte
+		for _, b := range data {
+			fold ^= b
+		}
 
-		js := newDiffServer(t)
+		js := newDiffServer(t, fold&1 != 0)
 		jsonOut := runJSON(t, js.conn, ops)
 		jsonFP := js.finish(t)
 
-		bs := newDiffServer(t)
+		bs := newDiffServer(t, fold&2 != 0)
 		binOut := runBinary(t, bs.conn, ops)
 		binFP := bs.finish(t)
 

@@ -76,6 +76,7 @@ func main() {
 		inflight = flag.Int("inflight", 2, "translated batches fed per retire pump (1..8; 1 disables pipelining)")
 		recwork  = flag.Int("recovery-workers", 0, "parallel recovery-replay workers per shard (0 = GOMAXPROCS, 1 = serial)")
 		check    = flag.Bool("check", false, "run the online durable-linearizability checker; verdict printed at drain and after every selfcheck instant")
+		readFast = flag.Bool("read-fast", true, "serve GETs from the per-shard committed-state index when the session has no pending writes (false = every GET goes through the mailbox)")
 
 		window      = flag.Int("window", 128, "binary protocol: max in-flight requests per connection (1..4096)")
 		maxconns    = flag.Int("maxconns", 0, "max concurrent client connections (0 = unlimited)")
@@ -156,10 +157,11 @@ func main() {
 			Check:           *check,
 			RecoveryWorkers: *recwork,
 		},
-		Mailbox:     *mailbox,
-		MaxBatch:    *maxbatch,
-		MinBatch:    *minbatch,
-		MaxInFlight: *inflight,
+		Mailbox:         *mailbox,
+		MaxBatch:        *maxbatch,
+		MinBatch:        *minbatch,
+		MaxInFlight:     *inflight,
+		DisableReadFast: !*readFast,
 	}
 	spec := pmkv.ScriptSpec{
 		Sessions: *sessions,
@@ -613,6 +615,12 @@ func (s *server) handleJSON(conn net.Conn, br *bufio.Reader) {
 		}
 		if traced {
 			span.Stamp(telemetry.StageAckWritten)
+			if req.Op == "get" {
+				d := span.Wall[telemetry.StageAckWritten] - span.Wall[telemetry.StageConnRead]
+				if d > 0 {
+					s.tracer.ObserveReadPath(ack.Shard, ack.Fast, uint64(d))
+				}
+			}
 			s.tracer.Complete(ack.Shard, span, telemetry.Meta{
 				Op:      req.Op,
 				Sess:    sess.ID,

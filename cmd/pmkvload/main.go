@@ -91,10 +91,36 @@ func (d *latDist) merge(o *latDist) {
 	}
 }
 
+// opDists bundles the three latency distributions for one op kind:
+// total from the scheduled instant, svc from the socket send, queue the
+// gap between the two.
+type opDists struct {
+	ops   uint64
+	total latDist
+	svc   latDist
+	queue latDist
+}
+
+func (d *opDists) record(scheduledToDone, sendToDone, queued time.Duration) {
+	d.ops++
+	d.total.record(uint64(scheduledToDone.Microseconds()))
+	d.svc.record(uint64(sendToDone.Microseconds()))
+	d.queue.record(uint64(queued.Microseconds()))
+}
+
+func (d *opDists) merge(o *opDists) {
+	d.ops += o.ops
+	d.total.merge(&o.total)
+	d.svc.merge(&o.svc)
+	d.queue.merge(&o.queue)
+}
+
 // connStats is one connection's tally, merged after the run. total is
 // latency from the op's scheduled instant, svc from its socket send,
 // queue the gap between the two (all equal in closed-loop JSON mode,
-// where an op is scheduled the moment it is sent).
+// where an op is scheduled the moment it is sent). Reads (gets) and
+// writes (puts, deletes) keep separate distributions so the read fast
+// path's effect is visible without a second run.
 type connStats struct {
 	ops      uint64
 	gets     uint64
@@ -108,12 +134,19 @@ type connStats struct {
 	total    latDist
 	svc      latDist
 	queue    latDist
+	read     opDists
+	write    opDists
 }
 
-func (c *connStats) record(scheduledToDone, sendToDone, queued time.Duration) {
+func (c *connStats) record(scheduledToDone, sendToDone, queued time.Duration, isRead bool) {
 	c.total.record(uint64(scheduledToDone.Microseconds()))
 	c.svc.record(uint64(sendToDone.Microseconds()))
 	c.queue.record(uint64(queued.Microseconds()))
+	if isRead {
+		c.read.record(scheduledToDone, sendToDone, queued)
+	} else {
+		c.write.record(scheduledToDone, sendToDone, queued)
+	}
 }
 
 func main() {
@@ -330,10 +363,12 @@ func runJSONConn(addr string, id int, deadline time.Time, interval time.Duration
 		}
 		key := fmt.Sprintf("k%06d", smp.key())
 		var req request
+		isRead := false
 		switch smp.op() {
 		case 0:
 			req = request{Op: "get", Key: key}
 			st.gets++
+			isRead = true
 		case 2:
 			req = request{Op: "del", Key: key}
 			st.dels++
@@ -359,7 +394,7 @@ func runJSONConn(addr string, id int, deadline time.Time, interval time.Duration
 			return nil
 		}
 		done := time.Now()
-		st.record(done.Sub(scheduled), done.Sub(sent), sent.Sub(scheduled))
+		st.record(done.Sub(scheduled), done.Sub(sent), sent.Sub(scheduled), isRead)
 		st.ops++
 
 		var resp response
@@ -399,11 +434,13 @@ func runBinaryConn(addr string, id int, deadline time.Time, interval time.Durati
 	}
 
 	// frameMeta carries what the completion handler can't recover from
-	// the response alone: the scheduled instant (open loop) and the subop
-	// count (error responses carry no results).
+	// the response alone: the scheduled instant (open loop), the subop
+	// count (error responses carry no results), and whether the frame was
+	// a read (GET/MGET) for the per-kind latency split.
 	type frameMeta struct {
 		schedNS int64
 		n       uint64
+		read    bool
 	}
 	var (
 		mu   sync.Mutex
@@ -433,7 +470,7 @@ func runBinaryConn(addr string, id int, deadline time.Time, interval time.Durati
 			// latency sample counts once per subop so multi-frame runs stay
 			// comparable op-for-op.
 			for i := uint64(0); i < n; i++ {
-				st.record(time.Duration(done-schedNS), time.Duration(done-sendNS), time.Duration(sendNS-schedNS))
+				st.record(time.Duration(done-schedNS), time.Duration(done-sendNS), time.Duration(sendNS-schedNS), fm.read)
 			}
 			st.ops += n
 			switch {
@@ -490,7 +527,7 @@ func runBinaryConn(addr string, id int, deadline time.Time, interval time.Durati
 			nextNS += int64(interval) * int64(frameOps)
 		}
 		mu.Lock()
-		meta[id64] = frameMeta{schedNS: schedNS, n: uint64(frameOps)}
+		meta[id64] = frameMeta{schedNS: schedNS, n: uint64(frameOps), read: kind == 0}
 		mu.Unlock()
 		var submitErr error
 		switch {
@@ -567,7 +604,55 @@ func percentileUS(hist *[histBuckets]uint64, total uint64, p float64) uint64 {
 // (coordinated-omission-corrected in open-loop runs; unchanged closed
 // loop), split into svc_* (send -> completion) and queue_* (scheduled ->
 // send); adds proto and window.
-const summarySchemaVersion = 3
+//
+// v4: adds read/write objects splitting every latency distribution by op
+// kind (gets vs puts+deletes), so the read fast path's effect shows
+// without a second filtered run. The flat combined fields are unchanged.
+const summarySchemaVersion = 4
+
+// KindSummary is one op kind's slice of the latency numbers (read =
+// gets; write = puts and deletes).
+type KindSummary struct {
+	Ops         uint64 `json:"ops"`
+	MeanUS      uint64 `json:"mean_us"`
+	P50US       uint64 `json:"p50_us"`
+	P90US       uint64 `json:"p90_us"`
+	P99US       uint64 `json:"p99_us"`
+	P999US      uint64 `json:"p999_us"`
+	MaxUS       uint64 `json:"max_us"`
+	SvcMeanUS   uint64 `json:"svc_mean_us"`
+	SvcP50US    uint64 `json:"svc_p50_us"`
+	SvcP99US    uint64 `json:"svc_p99_us"`
+	SvcMaxUS    uint64 `json:"svc_max_us"`
+	QueueMeanUS uint64 `json:"queue_mean_us"`
+	QueueP50US  uint64 `json:"queue_p50_us"`
+	QueueP99US  uint64 `json:"queue_p99_us"`
+	QueueMaxUS  uint64 `json:"queue_max_us"`
+}
+
+// kindSummary folds one op kind's distributions into its summary slice.
+func kindSummary(d *opDists) KindSummary {
+	mean, p50, p90, p99, p999 := distSummary(&d.total, d.ops)
+	svcMean, svcP50, _, svcP99, _ := distSummary(&d.svc, d.ops)
+	qMean, qP50, _, qP99, _ := distSummary(&d.queue, d.ops)
+	return KindSummary{
+		Ops:         d.ops,
+		MeanUS:      mean,
+		P50US:       p50,
+		P90US:       p90,
+		P99US:       p99,
+		P999US:      p999,
+		MaxUS:       d.total.maxUS,
+		SvcMeanUS:   svcMean,
+		SvcP50US:    svcP50,
+		SvcP99US:    svcP99,
+		SvcMaxUS:    d.svc.maxUS,
+		QueueMeanUS: qMean,
+		QueueP50US:  qP50,
+		QueueP99US:  qP99,
+		QueueMaxUS:  d.queue.maxUS,
+	}
+}
 
 // Summary is the -json output: the client-side tallies plus, when -admin
 // was given, the server-side per-stage breakdown for the same run.
@@ -604,6 +689,9 @@ type Summary struct {
 	QueueP99US    uint64  `json:"queue_p99_us"`
 	QueueMaxUS    uint64  `json:"queue_max_us"`
 
+	Read  KindSummary `json:"read"`
+	Write KindSummary `json:"write"`
+
 	ServerStages []telemetry.StageStats `json:"server_stages,omitempty"`
 	ServerShards []ServerShard          `json:"server_shards,omitempty"`
 }
@@ -634,6 +722,8 @@ func report(stats []connStats, elapsed time.Duration, conns int, protoName strin
 		total.total.merge(&s.total)
 		total.svc.merge(&s.svc)
 		total.queue.merge(&s.queue)
+		total.read.merge(&s.read)
+		total.write.merge(&s.write)
 	}
 	opsPerSec := float64(total.ops) / elapsed.Seconds()
 	mean, p50, p90, p99, p999 := distSummary(&total.total, total.ops)
@@ -676,6 +766,8 @@ func report(stats []connStats, elapsed time.Duration, conns int, protoName strin
 			QueueP50US:    qP50,
 			QueueP99US:    qP99,
 			QueueMaxUS:    total.queue.maxUS,
+			Read:          kindSummary(&total.read),
+			Write:         kindSummary(&total.write),
 			ServerStages:  stages,
 			ServerShards:  shards,
 		}
@@ -691,6 +783,18 @@ func report(stats []connStats, elapsed time.Duration, conns int, protoName strin
 		mean, p50, p90, p99, p999, total.total.maxUS)
 	fmt.Printf("  service (us): mean=%d p50=%d p90=%d p99=%d p99.9=%d max=%d; queueing: mean=%d p50=%d p99=%d max=%d\n",
 		svcMean, svcP50, svcP90, svcP99, svcP999, total.svc.maxUS, qMean, qP50, qP99, total.queue.maxUS)
+	for _, kind := range []struct {
+		name string
+		d    *opDists
+	}{{"reads", &total.read}, {"writes", &total.write}} {
+		if kind.d.ops == 0 {
+			continue
+		}
+		ks := kindSummary(kind.d)
+		fmt.Printf("  %s (us): %d ops, mean=%d p50=%d p90=%d p99=%d p99.9=%d max=%d; svc: mean=%d p50=%d p99=%d\n",
+			kind.name, ks.Ops, ks.MeanUS, ks.P50US, ks.P90US, ks.P99US, ks.P999US, ks.MaxUS,
+			ks.SvcMeanUS, ks.SvcP50US, ks.SvcP99US)
+	}
 	if len(stages) > 0 {
 		fmt.Printf("  server stages (us): ")
 		for i, st := range stages {

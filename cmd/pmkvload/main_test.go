@@ -36,6 +36,7 @@ func TestSummarySchemaLocked(t *testing.T) {
 		"svc_mean_us", "svc_p50_us", "svc_p90_us", "svc_p99_us",
 		"svc_p999_us", "svc_max_us",
 		"queue_mean_us", "queue_p50_us", "queue_p99_us", "queue_max_us",
+		"read", "write",
 		"server_stages", "server_shards",
 	}
 	got := make([]string, 0, len(m))
@@ -50,8 +51,28 @@ func TestSummarySchemaLocked(t *testing.T) {
 	}
 
 	var ver int
-	if err := json.Unmarshal(m["schema_version"], &ver); err != nil || ver != 3 {
-		t.Fatalf("schema_version = %s, want 3", m["schema_version"])
+	if err := json.Unmarshal(m["schema_version"], &ver); err != nil || ver != 4 {
+		t.Fatalf("schema_version = %s, want 4", m["schema_version"])
+	}
+
+	kindWant := []string{
+		"ops", "mean_us", "p50_us", "p90_us", "p99_us", "p999_us", "max_us",
+		"svc_mean_us", "svc_p50_us", "svc_p99_us", "svc_max_us",
+		"queue_mean_us", "queue_p50_us", "queue_p99_us", "queue_max_us",
+	}
+	for _, kind := range []string{"read", "write"} {
+		var ks map[string]json.RawMessage
+		if err := json.Unmarshal(m[kind], &ks); err != nil {
+			t.Fatalf("%s malformed: %s", kind, m[kind])
+		}
+		if len(ks) != len(kindWant) {
+			t.Fatalf("%s has %d fields, want %d: %s", kind, len(ks), len(kindWant), m[kind])
+		}
+		for _, k := range kindWant {
+			if _, ok := ks[k]; !ok {
+				t.Fatalf("%s missing %q: %s", kind, k, m[kind])
+			}
+		}
 	}
 
 	var stages []map[string]json.RawMessage

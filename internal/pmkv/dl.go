@@ -78,6 +78,16 @@ func (e *Engine) batchFor(key string) *batchKey {
 // methods make every hook free when checking is off.
 func (e *Engine) DL() *dlcheck.Tracker { return e.dl }
 
+// ObserveFastRead records a fast-path read observation with the tracker:
+// the session's response carried the value (or tombstone) of mutation
+// record rec (-1: no durable publish for the key). The tracker locks
+// internally, so this takes no engine lock and is safe from any caller
+// goroutine — which is the point: fast-path GETs never enter the
+// engine's single-writer pipeline, but the checker still sees them.
+func (e *Engine) ObserveFastRead(sess int, key string, rec int) {
+	e.dl.ObserveRead(sess, key, rec)
+}
+
 // DLImage translates a machine result into the checker's image: every
 // retired publish, grouped per bucket in head-store commit (version)
 // order, flagged durable when its head version reached NVRAM. The

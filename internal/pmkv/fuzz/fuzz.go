@@ -126,6 +126,94 @@ func Run(c Case) *Failure {
 	return nil
 }
 
+// liveRun replays the case's scripted ops sequentially against a live
+// ShardedStore — the server-facing engine with its GET fast path — with
+// the online checker armed, crashing at the given instant (0 = clean
+// drain). It returns the combined recovery fingerprint and the first
+// verification or checker error. Sequential issuance fixes the mutation
+// order, so clean-drain fingerprints are comparable across fast-path
+// configurations.
+func liveRun(c Case, at sim.Cycle, disableFast bool) (string, sim.Cycle, error) {
+	store, err := pmkv.NewSharded(pmkv.ShardedConfig{
+		Shards:          c.Shards,
+		Engine:          pmkv.Config{CrashAt: at, Check: true},
+		DisableReadFast: disableFast,
+	})
+	if err != nil {
+		return "", 0, err
+	}
+	sessions := make(map[int]*pmkv.ShardedSession)
+	for _, op := range pmkv.ScriptOps(c.Spec()) {
+		sess := sessions[op.Sess]
+		if sess == nil {
+			sess = store.NewSession()
+			sessions[op.Sess] = sess
+		}
+		var value []byte
+		if op.Op == pmkv.Put {
+			value = make([]byte, op.ValueLen)
+			for i := range value {
+				value[i] = byte('a' + op.Sess%26)
+			}
+		}
+		store.Do(sess, op.Op, op.Key, value)
+	}
+	results, err := store.Close()
+	if err != nil {
+		return "", 0, err
+	}
+	fps := make([]string, len(results))
+	var cycles sim.Cycle
+	for i, r := range results {
+		if r.DL == nil {
+			return "", 0, fmt.Errorf("shard %d: checker not armed", r.Shard)
+		}
+		if verr := r.DL.Err(); verr != nil {
+			return "", 0, fmt.Errorf("shard %d: %w", r.Shard, verr)
+		}
+		fps[i] = r.Report.Fingerprint
+		if r.Cycles > cycles {
+			cycles = r.Cycles
+		}
+	}
+	return pmkv.CombineFingerprints(fps), cycles, nil
+}
+
+// RunLive executes the case against the live store with the GET fast
+// path toggled both ways: clean drains must verify, pass the checker,
+// and recover byte-identical fingerprints; crashed runs (Frac != 0,
+// crash instant scaled to the live clean run's length) must verify and
+// pass the checker in both configurations. Returns nil when every
+// equivalence holds.
+func RunLive(c Case) *Failure {
+	fpOn, cycles, err := liveRun(c, 0, false)
+	if err != nil {
+		return &Failure{Case: c, At: 0, Err: fmt.Errorf("live fast-on: %w", err)}
+	}
+	fpOff, _, err := liveRun(c, 0, true)
+	if err != nil {
+		return &Failure{Case: c, At: 0, Err: fmt.Errorf("live fast-off: %w", err)}
+	}
+	if fpOn != fpOff {
+		return &Failure{Case: c, At: 0, Err: fmt.Errorf(
+			"live clean-drain fingerprints diverge: fast-on %s, fast-off %s", fpOn, fpOff)}
+	}
+	if c.Frac == 0 || cycles == 0 {
+		return nil
+	}
+	at := cycles * sim.Cycle(c.Frac) / 256
+	if at == 0 {
+		at = 1
+	}
+	if _, _, err := liveRun(c, at, false); err != nil {
+		return &Failure{Case: c, At: at, Err: fmt.Errorf("live fast-on: %w", err)}
+	}
+	if _, _, err := liveRun(c, at, true); err != nil {
+		return &Failure{Case: c, At: at, Err: fmt.Errorf("live fast-off: %w", err)}
+	}
+	return nil
+}
+
 // Minimize greedily shrinks a failing case while it keeps failing at
 // the same absolute crash instant: rounds first (halving, then
 // decrement), then sessions, keyspace, and value size. The budget bounds

@@ -86,6 +86,14 @@ func FuzzDurableLinearizability(f *testing.F) {
 		c := CaseFromBytes(data)
 		fail := Run(c)
 		if fail == nil {
+			// The scripted engines verified; now the live ShardedStore with
+			// the GET fast path toggled both ways must agree (identical
+			// clean-drain fingerprints, checker-clean crash runs). Live
+			// failures skip minimization: Minimize re-runs the scripted
+			// path, which just passed.
+			if lf := RunLive(c); lf != nil {
+				t.Fatalf("live store (fast-path equivalence) failed:\n%s", Transcript(lf))
+			}
 			return
 		}
 		fail = Minimize(fail)

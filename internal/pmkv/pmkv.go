@@ -806,7 +806,7 @@ func publishesByBucket(records []*OpRecord, tokens map[uint64]mem.Version, bucke
 	byBucket := make([][]pub, buckets)
 	off := 0
 	for b, c := range counts {
-		byBucket[b] = flat[off:off:off+c]
+		byBucket[b] = flat[off : off : off+c]
 		off += c
 	}
 	total := 0

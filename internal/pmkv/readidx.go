@@ -1,0 +1,171 @@
+// Lock-free committed-state read index: the data structure behind the
+// GET fast path. Each shard worker publishes its engine's durable-prefix
+// records into a chained hash whose bucket heads are atomic pointers to
+// immutable entries, so any number of caller goroutines can answer GETs
+// against precisely the durably-acknowledged prefix without touching the
+// shard mailbox, the engine lock, or the simulated machine.
+//
+// The discipline mirrors the paper's publish-pointer idiom one level up:
+// an entry is fully built before the single atomic store that links it,
+// and once linked it is never mutated — readers that traverse a chain can
+// only observe states that were durable when the head store happened.
+// There is exactly one writer (the shard worker), so inserts need no CAS
+// loop; amortized chain compaction and table growth swap in a rebuilt
+// table with one atomic pointer store.
+package pmkv
+
+import "sync/atomic"
+
+// readEntry is one immutable index entry: the newest durably-published
+// state of a key at the moment it was linked. found=false is a tombstone
+// (the key's newest durable publish is a delete). Entries shadowed by a
+// newer insert for the same key stay in the chain until compaction;
+// readers take the first match, which is always the newest.
+type readEntry struct {
+	next  *readEntry
+	key   string
+	val   []byte // engine arena bytes; immutable by construction
+	rec   int32  // engine mutation-record index of the publish
+	found bool   // false: durably deleted
+}
+
+// readTable is one immutable-shape bucket array. Growth replaces the
+// whole table (readers re-load the pointer per lookup), so mask and the
+// slice header never change under a reader.
+type readTable struct {
+	mask    uint64
+	buckets []atomic.Pointer[readEntry]
+}
+
+// readIdxMinBuckets is the initial (and minimum) table size.
+const readIdxMinBuckets = 64
+
+// readIdxMinRebuild is the entry count below which compaction is never
+// triggered, so small stores don't churn tables.
+const readIdxMinRebuild = 128
+
+// readIndex is one shard's committed-state index. get is safe from any
+// goroutine; publish/insert/rebuild must only be called from the shard
+// worker (the single writer).
+type readIndex struct {
+	table atomic.Pointer[readTable]
+	// published is the durable-prefix watermark the index covers: every
+	// mutation record below it has been folded in. Stored after the
+	// inserts it covers.
+	published atomic.Int64
+
+	// Writer-only bookkeeping driving amortized compaction.
+	entries int // chain nodes across the table, including shadowed ones
+	keys    int // distinct keys present
+}
+
+// newReadIndex builds an empty index.
+func newReadIndex() *readIndex {
+	ri := &readIndex{}
+	ri.table.Store(newReadTable(readIdxMinBuckets))
+	return ri
+}
+
+func newReadTable(n int) *readTable {
+	return &readTable{mask: uint64(n - 1), buckets: make([]atomic.Pointer[readEntry], n)}
+}
+
+// readBucket picks a key's bucket. shardHash's low bits chose the shard
+// (key % shards is constant within one index), so the bucket comes from
+// the high half of the avalanched hash.
+func (t *readTable) readBucket(key string) *atomic.Pointer[readEntry] {
+	return &t.buckets[(shardHash(key)>>33)&t.mask]
+}
+
+// get answers a key from the durably-published state: (value, true, rec)
+// for a live key, (nil, false, rec) for a durable tombstone, and
+// (nil, false, -1) when the key has no published durable mutation at all
+// — which, for a session with no in-flight writes, is a linearizable
+// not-found (any concurrent write is unacked and may linearize after).
+func (ri *readIndex) get(key string) (val []byte, found bool, rec int) {
+	t := ri.table.Load()
+	for e := t.readBucket(key).Load(); e != nil; e = e.next {
+		if e.key == key {
+			return e.val, e.found, int(e.rec)
+		}
+	}
+	return nil, false, -1
+}
+
+// watermark reports the published durable-prefix record count.
+func (ri *readIndex) watermark() int { return int(ri.published.Load()) }
+
+// publish folds every record in [published, durable) into the index and
+// advances the published watermark. Worker-only; the caller must invoke
+// it BEFORE delivering the acks the watermark releases, so a client that
+// has seen its ack always finds its write here.
+func (ri *readIndex) publish(records []*OpRecord, durable int) {
+	lo := int(ri.published.Load())
+	if durable <= lo {
+		return
+	}
+	for i := lo; i < durable; i++ {
+		r := records[i]
+		ri.insert(r.Key, r.Value, r.Op != Delete, int32(i))
+	}
+	ri.published.Store(int64(durable))
+}
+
+// insert links a new entry at its bucket head (single atomic store; the
+// entry and its chain are immutable from that point). Worker-only.
+func (ri *readIndex) insert(key string, val []byte, found bool, rec int32) {
+	t := ri.table.Load()
+	b := t.readBucket(key)
+	head := b.Load()
+	fresh := true
+	for e := head; e != nil; e = e.next {
+		if e.key == key {
+			fresh = false
+			break
+		}
+	}
+	b.Store(&readEntry{next: head, key: key, val: val, rec: rec, found: found})
+	ri.entries++
+	if fresh {
+		ri.keys++
+	}
+	// Amortized compaction: once shadowed entries outnumber live keys the
+	// next rebuild is O(entries) against >= entries/2 inserts since the
+	// last one. Growth rides along (table sized to the live key count).
+	if ri.entries > readIdxMinRebuild && ri.entries > 2*ri.keys {
+		ri.rebuild()
+	}
+}
+
+// rebuild swaps in a compacted table holding exactly the newest entry
+// per key (tombstones included — a deleted key must keep shadowing any
+// older live entry). Worker-only; readers keep traversing the old table
+// until the single table.Store, and both tables answer every key with
+// the same newest entry state.
+func (ri *readIndex) rebuild() {
+	old := ri.table.Load()
+	n := readIdxMinBuckets
+	for n < 2*ri.keys {
+		n <<= 1
+	}
+	nt := newReadTable(n)
+	kept := 0
+	for i := range old.buckets {
+		// Chains are newest-first, so the first occurrence of a key wins
+		// and later (older) duplicates are dropped.
+	entries:
+		for e := old.buckets[i].Load(); e != nil; e = e.next {
+			b := nt.readBucket(e.key)
+			head := b.Load()
+			for d := head; d != nil; d = d.next {
+				if d.key == e.key {
+					continue entries
+				}
+			}
+			b.Store(&readEntry{next: head, key: e.key, val: e.val, rec: e.rec, found: e.found})
+			kept++
+		}
+	}
+	ri.entries, ri.keys = kept, kept
+	ri.table.Store(nt)
+}

@@ -1,0 +1,395 @@
+package pmkv
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"persistbarriers/internal/sim"
+)
+
+// TestReadIndexBasics: insert/get/tombstone semantics on the bare index.
+func TestReadIndexBasics(t *testing.T) {
+	ri := newReadIndex()
+	if v, found, rec := ri.get("a"); v != nil || found || rec != -1 {
+		t.Fatalf("empty index get = (%q, %v, %d), want (nil, false, -1)", v, found, rec)
+	}
+	ri.insert("a", []byte("v1"), true, 0)
+	ri.insert("b", []byte("v2"), true, 1)
+	if v, found, rec := ri.get("a"); string(v) != "v1" || !found || rec != 0 {
+		t.Fatalf("get a = (%q, %v, %d)", v, found, rec)
+	}
+	// Newer insert shadows the older entry.
+	ri.insert("a", []byte("v3"), true, 2)
+	if v, _, rec := ri.get("a"); string(v) != "v3" || rec != 2 {
+		t.Fatalf("shadowed get a = (%q, rec %d), want (v3, 2)", v, rec)
+	}
+	// A tombstone answers found=false but keeps the record index.
+	ri.insert("b", nil, false, 3)
+	if v, found, rec := ri.get("b"); v != nil || found || rec != 3 {
+		t.Fatalf("tombstone get b = (%q, %v, %d), want (nil, false, 3)", v, found, rec)
+	}
+}
+
+// TestReadIndexPublishPrefix: publish folds exactly [published, durable)
+// and is idempotent on stale watermarks.
+func TestReadIndexPublishPrefix(t *testing.T) {
+	ri := newReadIndex()
+	recs := []*OpRecord{
+		{Op: Put, Key: "x", Value: []byte("1")},
+		{Op: Put, Key: "y", Value: []byte("2")},
+		{Op: Delete, Key: "x"},
+		{Op: Put, Key: "z", Value: []byte("3")},
+	}
+	ri.publish(recs, 2)
+	if ri.watermark() != 2 {
+		t.Fatalf("watermark = %d, want 2", ri.watermark())
+	}
+	if v, found, _ := ri.get("x"); string(v) != "1" || !found {
+		t.Fatalf("x before delete published = (%q, %v)", v, found)
+	}
+	if _, found, rec := ri.get("z"); found || rec != -1 {
+		t.Fatal("z visible before its publish is durable")
+	}
+	// Stale and duplicate watermarks are no-ops.
+	ri.publish(recs, 1)
+	ri.publish(recs, 2)
+	if ri.watermark() != 2 {
+		t.Fatalf("watermark moved backward: %d", ri.watermark())
+	}
+	ri.publish(recs, 4)
+	if v, found, rec := ri.get("x"); v != nil || found || rec != 2 {
+		t.Fatalf("x after delete = (%q, %v, %d), want tombstone rec 2", v, found, rec)
+	}
+	if v, _, _ := ri.get("z"); string(v) != "3" {
+		t.Fatalf("z = %q, want 3", v)
+	}
+}
+
+// TestReadIndexRebuildKeepsTombstones: compaction must preserve each
+// key's newest state — including tombstones, which still shadow older
+// live entries — and shrink the chain count to the live key count.
+func TestReadIndexRebuildKeepsTombstones(t *testing.T) {
+	ri := newReadIndex()
+	const keys = 32
+	// Hammer a small key set until rebuilds have certainly run
+	// (entries > 128 and > 2*keys triggers one per insert past that).
+	rec := int32(0)
+	want := make(map[int]int32)
+	for round := 0; round < 20; round++ {
+		for k := 0; k < keys; k++ {
+			key := fmt.Sprintf("k%03d", k)
+			if (round+k)%5 == 0 {
+				ri.insert(key, nil, false, rec)
+				want[k] = -rec // negative marks a tombstone
+			} else {
+				ri.insert(key, []byte(fmt.Sprintf("v%d", rec)), true, rec)
+				want[k] = rec
+			}
+			rec++
+		}
+	}
+	if ri.entries > 2*keys {
+		t.Fatalf("rebuild never compacted: %d entries for %d keys", ri.entries, keys)
+	}
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("k%03d", k)
+		v, found, gotRec := ri.get(key)
+		if w := want[k]; w < 0 {
+			if found || gotRec != int(-w) {
+				t.Fatalf("%s: tombstone lost in rebuild: (%q, %v, %d)", key, v, found, gotRec)
+			}
+		} else if !found || string(v) != fmt.Sprintf("v%d", w) || gotRec != int(w) {
+			t.Fatalf("%s = (%q, %v, %d), want v%d", key, v, found, gotRec, w)
+		}
+	}
+}
+
+// TestReadFastPathServesDurableWrites: after a durably-acked write, a
+// GET from the same session takes the fast path and returns it; a GET
+// for a never-written key is an authoritative fast not-found; disabling
+// the fast path routes every GET through the mailbox.
+func TestReadFastPathServesDurableWrites(t *testing.T) {
+	store, err := NewSharded(ShardedConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := store.NewSession()
+	if ack := store.Do(sess, Get, "nope", nil); !ack.Fast || ack.Resp.Found || ack.Err != nil {
+		t.Fatalf("fresh-store get = %+v, want fast not-found", ack)
+	}
+	if ack := store.Do(sess, Put, "k", []byte("v")); ack.Err != nil || ack.Fast {
+		t.Fatalf("put ack = %+v (writes never take the fast path)", ack)
+	}
+	ack := store.Do(sess, Get, "k", nil)
+	if ack.Err != nil || !ack.Fast || !ack.Resp.Found || string(ack.Resp.Value) != "v" {
+		t.Fatalf("get after acked put = %+v, want fast hit with v", ack)
+	}
+	if ack.Durable < 1 {
+		t.Fatalf("fast ack watermark = %d, want >= 1", ack.Durable)
+	}
+	if ack := store.Do(sess, Delete, "k", nil); ack.Err != nil {
+		t.Fatalf("del: %+v", ack)
+	}
+	if ack := store.Do(sess, Get, "k", nil); !ack.Fast || ack.Resp.Found {
+		t.Fatalf("get after acked del = %+v, want fast tombstone", ack)
+	}
+	m := store.Metrics()
+	var hits uint64
+	for _, sm := range m {
+		hits += sm.FastHits
+	}
+	if hits < 3 {
+		t.Fatalf("fast hits = %d, want >= 3", hits)
+	}
+	if _, err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	off, err := NewSharded(ShardedConfig{Shards: 2, DisableReadFast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	osess := off.NewSession()
+	off.Do(osess, Put, "k", []byte("v"))
+	if ack := off.Do(osess, Get, "k", nil); ack.Fast {
+		t.Fatalf("fast ack with DisableReadFast: %+v", ack)
+	}
+	if m := off.Metrics(); m[0].FastHits+m[1].FastHits != 0 {
+		t.Fatal("fast hits counted with the path disabled")
+	}
+	if _, err := off.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadFastRaceStress races fast-path readers against writers (and
+// their workers' index publishes) with the checker on; run under -race
+// this is the memory-model guard for the lock-free index. Each reader
+// session never writes, so its pending counters stay zero and every GET
+// takes the fast path.
+func TestReadFastRaceStress(t *testing.T) {
+	for _, crash := range []sim.Cycle{0, 60_000} {
+		store, err := NewSharded(ShardedConfig{
+			Shards: 4,
+			Engine: Config{Check: true, CrashAt: crash},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const writers, readers, ops, keys = 4, 4, 150, 24
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			sess := store.NewSession()
+			wg.Add(1)
+			go func(w int, sess *ShardedSession) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)))
+				for n := 0; n < ops; n++ {
+					key := fmt.Sprintf("k%03d", rng.Intn(keys))
+					var ack ShardAck
+					if rng.Intn(5) == 0 {
+						ack = store.Do(sess, Delete, key, nil)
+					} else {
+						ack = store.Do(sess, Put, key, []byte(fmt.Sprintf("w%d-%d", w, n)))
+					}
+					if ack.Err != nil || ack.Crashed {
+						return // draining or crashed: stop writing
+					}
+				}
+			}(w, sess)
+		}
+		for r := 0; r < readers; r++ {
+			sess := store.NewSession()
+			wg.Add(1)
+			go func(r int, sess *ShardedSession) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(1000 + r)))
+				for n := 0; n < ops*2; n++ {
+					key := fmt.Sprintf("k%03d", rng.Intn(keys))
+					ack := store.Do(sess, Get, key, nil)
+					if ack.Err != nil || ack.Crashed {
+						return
+					}
+				}
+			}(r, sess)
+		}
+		wg.Wait()
+		results, err := store.Close()
+		if err != nil {
+			t.Fatalf("crash=%d: %v", crash, err)
+		}
+		for _, res := range results {
+			if res.DL == nil {
+				t.Fatalf("crash=%d shard %d: checker off", crash, res.Shard)
+			}
+			if res.DL.Err() != nil {
+				t.Fatalf("crash=%d shard %d: %v", crash, res.Shard, res.DL.Err())
+			}
+		}
+	}
+}
+
+// liveRun drives spec's scripted ops sequentially against a live store
+// and returns the combined recovery fingerprint, the recovered state,
+// and the total fast-hit count. Sequential issuance makes the mutation
+// order — hence the clean-drain recovered state — identical across
+// configurations, which is what lets the metamorphic test compare
+// fingerprints byte-for-byte.
+func liveRun(t *testing.T, cfg ShardedConfig, spec ScriptSpec, crash sim.Cycle) (string, map[string][]byte, uint64) {
+	t.Helper()
+	cfg.Engine.Check = true
+	cfg.Engine.CrashAt = crash
+	store, err := NewSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := make(map[int]*ShardedSession)
+	for _, op := range ScriptOps(spec) {
+		sess := sessions[op.Sess]
+		if sess == nil {
+			sess = store.NewSession()
+			sessions[op.Sess] = sess
+		}
+		var value []byte
+		if op.Op == Put {
+			value = bytes.Repeat([]byte{byte('a' + op.Sess%26)}, op.ValueLen)
+		}
+		store.Do(sess, op.Op, op.Key, value)
+	}
+	results, err := store.Close()
+	if err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	fps := make([]string, len(results))
+	var hits uint64
+	for i, r := range results {
+		if r.DL == nil || r.DL.Err() != nil {
+			t.Fatalf("shard %d verdict: %v", r.Shard, r.DL.Err())
+		}
+		fps[i] = r.Report.Fingerprint
+	}
+	for _, m := range store.Metrics() {
+		hits += m.FastHits
+	}
+	return CombineFingerprints(fps), MergeRecovered(results), hits
+}
+
+// TestReadFastMetamorphic is the equivalence pin: the same workload with
+// the fast path on and off must recover byte-identical state from a
+// clean drain (GETs never mutate, whichever path serves them) and pass
+// the durable-linearizability checker either way; under a crash the
+// recovered prefixes may differ (timing) but both verdicts must hold.
+func TestReadFastMetamorphic(t *testing.T) {
+	spec := ScriptSpec{Sessions: 4, Rounds: 30, KeySpace: 12, Seed: 99, PutPct: 40, GetPct: 45}
+	for _, shards := range []int{1, 4} {
+		on := ShardedConfig{Shards: shards}
+		off := ShardedConfig{Shards: shards, DisableReadFast: true}
+
+		fpOn, recOn, hitsOn := liveRun(t, on, spec, 0)
+		fpOff, recOff, hitsOff := liveRun(t, off, spec, 0)
+		if hitsOn == 0 {
+			t.Fatalf("shards=%d: fast path never hit — the test exercises nothing", shards)
+		}
+		if hitsOff != 0 {
+			t.Fatalf("shards=%d: %d fast hits with the path disabled", shards, hitsOff)
+		}
+		if fpOn != fpOff {
+			t.Fatalf("shards=%d: clean-drain fingerprints diverge: fast-on %s, fast-off %s",
+				shards, fpOn, fpOff)
+		}
+		if len(recOn) != len(recOff) {
+			t.Fatalf("shards=%d: recovered sizes diverge: %d vs %d", shards, len(recOn), len(recOff))
+		}
+		for k, v := range recOn {
+			if !bytes.Equal(v, recOff[k]) {
+				t.Fatalf("shards=%d: recovered[%q] diverges: %q vs %q", shards, k, v, recOff[k])
+			}
+		}
+
+		// Crash variant: liveRun fails the test itself on any verification
+		// or checker rejection; fingerprints legitimately differ here.
+		liveRun(t, on, spec, 40_000)
+		liveRun(t, off, spec, 40_000)
+	}
+}
+
+// BenchmarkReadFastPath measures the GET cost on the three read paths
+// the fast-path design produces: index hits (lock-free, no mailbox),
+// forced fallbacks (DisableReadFast — every GET rides a group commit),
+// and a 95/5 read/write mix on the fast-path store (the headline
+// workload of the PR). ops/sec is logical operations over wall time.
+func BenchmarkReadFastPath(b *testing.B) {
+	const keyCount = 256
+	keys := make([]string, keyCount)
+	for k := range keys {
+		keys[k] = fmt.Sprintf("k%06d", k)
+	}
+	setup := func(b *testing.B, disable bool) (*ShardedStore, *ShardedSession) {
+		b.Helper()
+		store, err := NewSharded(ShardedConfig{Shards: 4, DisableReadFast: disable})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess := store.NewSession()
+		for _, k := range keys {
+			if ack := store.Do(sess, Put, k, []byte("warmval-benchmark")); ack.Err != nil {
+				b.Fatal(ack.Err)
+			}
+		}
+		return store, sess
+	}
+	close := func(b *testing.B, store *ShardedStore) {
+		b.Helper()
+		b.StopTimer()
+		if _, err := store.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("hit", func(b *testing.B) {
+		store, sess := setup(b, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ack := store.Do(sess, Get, keys[i%keyCount], nil)
+			if ack.Err != nil || !ack.Fast {
+				b.Fatalf("expected fast hit: %+v", ack)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+		close(b, store)
+	})
+
+	b.Run("fallback", func(b *testing.B) {
+		store, sess := setup(b, true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ack := store.Do(sess, Get, keys[i%keyCount], nil)
+			if ack.Err != nil || ack.Fast {
+				b.Fatalf("expected mailbox read: %+v", ack)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+		close(b, store)
+	})
+
+	b.Run("mixed95", func(b *testing.B) {
+		store, sess := setup(b, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var ack ShardAck
+			if i%20 == 19 {
+				ack = store.Do(sess, Put, keys[i%keyCount], []byte("mixed-write-value"))
+			} else {
+				ack = store.Do(sess, Get, keys[i%keyCount], nil)
+			}
+			if ack.Err != nil {
+				b.Fatal(ack.Err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+		close(b, store)
+	})
+}

@@ -79,6 +79,14 @@ type ShardedConfig struct {
 	// clamped to 1..8). 1 disables pipelining: every batch pays for its
 	// own pump, the pre-v2 behavior.
 	MaxInFlight int
+	// DisableReadFast turns off the lock-free GET fast path. By default
+	// Do/DoAsync answer a GET directly from the shard's committed-state
+	// read index — no mailbox hop, no translate, no machine time — when
+	// the session has no in-flight writes on that shard (so the PR 7
+	// snapshot semantics hold: own same-batch writes visible via the
+	// fallback, foreign same-batch writes never, because the index only
+	// ever holds the durably-acknowledged prefix).
+	DisableReadFast bool
 	// ConfigureShard, when non-nil, is called with each shard's engine
 	// config before construction — the hook servers use to attach a
 	// per-shard observability probe.
@@ -122,6 +130,12 @@ func (c *ShardedConfig) fill() {
 type ShardedSession struct {
 	ID  int
 	per []*Session // per-shard engine sessions, indexed by shard
+	// pending[shard] counts this session's mutations routed to the shard
+	// whose durable acks have not yet been delivered. The GET fast path
+	// requires it to be zero: with writes in flight the read falls back
+	// to the mailbox so it observes the session's own unacked writes
+	// (read-your-writes within the commit window).
+	pending []atomic.Int32
 }
 
 // ShardAck answers one request routed through the sharded store. For
@@ -136,7 +150,10 @@ type ShardAck struct {
 	Shard   int
 	Durable int // shard durable-prefix watermark at ack time
 	Crashed bool
-	Err     error
+	// Fast marks a GET answered on the lock-free fast path (from the
+	// shard's committed-state index, on the caller's goroutine).
+	Fast bool
+	Err  error
 }
 
 // Completion pairs a ShardAck with the caller-chosen tag that routed it,
@@ -163,11 +180,20 @@ type shardJob struct {
 	// retirement, and the durable watermark. A nil span costs one branch
 	// per stamp site.
 	span *telemetry.Span
+	// pend, set for mutations, is the session's per-shard in-flight
+	// write counter; deliver decrements it on a successful durable ack.
+	pend *atomic.Int32
 }
 
 // deliver sends the job's completion. See shardJob.done for why this
-// must never block in practice.
+// must never block in practice. A mutation's pending count drops only on
+// a clean durable ack — crashed or errored writes leave it raised, so
+// the session's GETs stay on the slow path (conservative: the fast path
+// must never skip a write whose durability is unsettled).
 func (j *shardJob) deliver(a ShardAck) {
+	if j.pend != nil && a.Err == nil && !a.Crashed {
+		j.pend.Add(-1)
+	}
 	j.done <- Completion{Tag: j.tag, Ack: a}
 }
 
@@ -176,6 +202,7 @@ type shard struct {
 	id    int
 	eng   *Engine
 	mail  chan shardJob
+	idx   *readIndex   // committed-state index behind the GET fast path
 	subMu sync.RWMutex // senders hold R; drain holds W to flip accepting+close
 	open  bool         // guarded by subMu
 
@@ -186,6 +213,8 @@ type shard struct {
 	batchOps  atomic.Uint64
 	batchHist telemetry.AtomicHist // group-commit size distribution
 	batchLim  atomic.Int64         // live adaptive batch limit
+	fastHits  atomic.Uint64        // GETs served on the fast path
+	fastFalls atomic.Uint64        // GETs that fell back to the mailbox
 	crashedFl atomic.Bool
 }
 
@@ -197,8 +226,10 @@ func (sh *shard) queueDepth() int { return int(sh.enq.Load() - sh.deq.Load()) }
 // lock — a pure hash picks the shard and a per-shard mailbox carries the
 // request to that shard's worker.
 type ShardedStore struct {
-	cfg    ShardedConfig
-	shards []*shard
+	cfg      ShardedConfig
+	readFast bool // GET fast path enabled (cfg.DisableReadFast inverted)
+	draining atomic.Bool
+	shards   []*shard
 
 	sessMu   sync.Mutex
 	sessions int
@@ -217,7 +248,7 @@ func NewSharded(cfg ShardedConfig) (*ShardedStore, error) {
 	if cfg.Shards < 1 || cfg.Shards > MaxShards {
 		return nil, fmt.Errorf("pmkv: Shards must be in 1..%d, got %d", MaxShards, cfg.Shards)
 	}
-	s := &ShardedStore{cfg: cfg}
+	s := &ShardedStore{cfg: cfg, readFast: !cfg.DisableReadFast}
 	for i := 0; i < cfg.Shards; i++ {
 		ecfg := cfg.Engine
 		if cfg.ConfigureShard != nil {
@@ -231,6 +262,7 @@ func NewSharded(cfg ShardedConfig) (*ShardedStore, error) {
 			id:   i,
 			eng:  eng,
 			mail: make(chan shardJob, cfg.Mailbox),
+			idx:  newReadIndex(),
 			open: true,
 		}
 		sh.batchLim.Store(int64(cfg.MinBatch))
@@ -254,7 +286,11 @@ func (s *ShardedStore) Shards() int { return len(s.shards) }
 func (s *ShardedStore) NewSession() *ShardedSession {
 	s.sessMu.Lock()
 	defer s.sessMu.Unlock()
-	sess := &ShardedSession{ID: s.sessions, per: make([]*Session, len(s.shards))}
+	sess := &ShardedSession{
+		ID:      s.sessions,
+		per:     make([]*Session, len(s.shards)),
+		pending: make([]atomic.Int32, len(s.shards)),
+	}
 	s.sessions++
 	for i, sh := range s.shards {
 		sess.per[i] = sh.eng.NewSession()
@@ -296,6 +332,11 @@ func (s *ShardedStore) DoSpan(sess *ShardedSession, op Op, key string, value []b
 //
 // An error return (ErrDraining, nil session) means the request was NOT
 // routed and no completion will arrive for it.
+//
+// GETs take the lock-free fast path when the store allows it: the
+// completion is delivered inline, on the caller's goroutine, before
+// DoAsync returns (it consumes one slot of done's free capacity exactly
+// like a worker delivery would).
 func (s *ShardedStore) DoAsync(sess *ShardedSession, op Op, key string, value []byte, span *telemetry.Span, tag uint64, done chan<- Completion) (int, error) {
 	if sess == nil {
 		return -1, errNoSession
@@ -303,15 +344,45 @@ func (s *ShardedStore) DoAsync(sess *ShardedSession, op Op, key string, value []
 	id := ShardOf(key, len(s.shards))
 	span.Stamp(telemetry.StageShardRoute)
 	sh := s.shards[id]
+	if op == Get && s.readFast {
+		if sess.pending[id].Load() == 0 && !s.draining.Load() && !sh.crashedFl.Load() {
+			// The index holds exactly the durably-acknowledged prefix:
+			// pending==0 means every one of this session's writes here is
+			// acked, and the worker publishes a batch's records before
+			// releasing its acks, so the session's own writes are present
+			// and any missing foreign write is unacked (free to linearize
+			// after this read). Absence is therefore an authoritative
+			// not-found.
+			val, found, rec := sh.idx.get(key)
+			sh.eng.ObserveFastRead(sess.per[id].ID, key, rec)
+			sh.fastHits.Add(1)
+			span.Stamp(telemetry.StageDurable)
+			done <- Completion{Tag: tag, Ack: ShardAck{
+				Resp:    Response{Found: found, Value: val},
+				Shard:   id,
+				Durable: sh.idx.watermark(),
+				Fast:    true,
+			}}
+			return id, nil
+		}
+		sh.fastFalls.Add(1)
+	}
 	j := shardJob{
 		req:  Request{Sess: sess.per[id], Op: op, Key: key, Value: value},
 		done: done,
 		tag:  tag,
 		span: span,
 	}
+	if op != Get {
+		sess.pending[id].Add(1)
+		j.pend = &sess.pending[id]
+	}
 	sh.subMu.RLock()
 	if !sh.open {
 		sh.subMu.RUnlock()
+		if j.pend != nil {
+			j.pend.Add(-1) // refused: no completion will arrive
+		}
 		return id, ErrDraining
 	}
 	sh.mail <- j
@@ -549,6 +620,14 @@ func (w *shardWorker) release() {
 		w.pending = w.pending[:0]
 		return
 	}
+	// Publish the newly durable records into the read index BEFORE any
+	// ack below is delivered: a client that has received a durable ack
+	// must find that write on the fast path (the atomic bucket store
+	// happens-before the ack's channel send, which happens-before the
+	// client's next request).
+	if w.s.readFast && durable > 0 {
+		sh.idx.publish(sh.eng.Records(), durable)
+	}
 	cycle := int64(sh.eng.Now())
 	for len(w.pending) > 0 && w.pending[0].target <= durable {
 		p := w.pending[0]
@@ -671,6 +750,12 @@ type ShardMetrics struct {
 	Total      int       `json:"total_publishes"`
 	Cycle      sim.Cycle `json:"cycle"`
 	Crashed    bool      `json:"crashed,omitempty"`
+	// FastHits / FastFallbacks count GETs answered on the lock-free fast
+	// path vs routed through the mailbox while the fast path was on;
+	// ReadPublished is the durable-prefix watermark the read index covers.
+	FastHits      uint64 `json:"read_fast_hits"`
+	FastFallbacks uint64 `json:"read_fallbacks"`
+	ReadPublished int    `json:"read_published"`
 	// BatchSizes is the group-commit size distribution (power-of-two
 	// buckets; Counts[b] holds batches of size in (2^(b-1)-1, 2^b-1]).
 	BatchSizes telemetry.HistSnapshot `json:"batch_sizes"`
@@ -682,16 +767,19 @@ func (s *ShardedStore) Metrics() []ShardMetrics {
 	for i, sh := range s.shards {
 		d, total, _ := sh.eng.DurableWatermark()
 		m := ShardMetrics{
-			Shard:      i,
-			QueueDepth: sh.queueDepth(),
-			MailboxCap: s.cfg.Mailbox,
-			Batches:    sh.batches.Load(),
-			BatchLimit: int(sh.batchLim.Load()),
-			Durable:    d,
-			Total:      total,
-			Cycle:      sh.eng.Now(),
-			Crashed:    sh.crashedFl.Load(),
-			BatchSizes: sh.batchHist.Snapshot(),
+			Shard:         i,
+			QueueDepth:    sh.queueDepth(),
+			MailboxCap:    s.cfg.Mailbox,
+			Batches:       sh.batches.Load(),
+			BatchLimit:    int(sh.batchLim.Load()),
+			Durable:       d,
+			Total:         total,
+			Cycle:         sh.eng.Now(),
+			Crashed:       sh.crashedFl.Load(),
+			FastHits:      sh.fastHits.Load(),
+			FastFallbacks: sh.fastFalls.Load(),
+			ReadPublished: sh.idx.watermark(),
+			BatchSizes:    sh.batchHist.Snapshot(),
 		}
 		if m.Batches > 0 {
 			m.AvgBatch = float64(sh.batchOps.Load()) / float64(m.Batches)
@@ -709,6 +797,10 @@ func (s *ShardedStore) Metrics() []ShardMetrics {
 // after the recovery snapshot.
 func (s *ShardedStore) BeginDrain() {
 	s.drainOnce.Do(func() {
+		// The fast path shuts first: a GET racing the drain either served
+		// before the flag flipped (still the durable prefix — consistent
+		// with any recovery) or falls back and is refused like a write.
+		s.draining.Store(true)
 		for _, sh := range s.shards {
 			sh.subMu.Lock()
 			sh.open = false

@@ -23,7 +23,7 @@ func violationGraph(cores, perCore int, planted map[int]bool) (*Graph, map[mem.L
 			if planted[c*perCore+n] && n > 0 {
 				// The predecessor's line is dropped from the image while
 				// this epoch's write is durable.
-				delete(image, mem.Line(line - 1))
+				delete(image, mem.Line(line-1))
 			}
 			image[line] = v
 			h = append(h, summary(c, uint64(n), false, writes))
@@ -40,8 +40,8 @@ func violationGraph(cores, perCore int, planted map[int]bool) (*Graph, map[mem.L
 // epoch index — and agree with the serial scan on clean images.
 func TestCheckOrderingParallelMatchesSerial(t *testing.T) {
 	for _, planted := range []map[int]bool{
-		nil,                          // clean
-		{17: true},                   // single violation
+		nil,                           // clean
+		{17: true},                    // single violation
 		{5: true, 23: true, 38: true}, // several: lowest index must win
 	} {
 		g, image := violationGraph(4, 10, planted)

@@ -127,6 +127,14 @@ func (t *Tracer) AppendStageMetrics(dst []byte) []byte {
 			labels := fmt.Sprintf("shard=%q,stage=%q", strconv.Itoa(shard), segmentNames[seg])
 			dst = appendHistogram(dst, StageMetricName, labels, t.shards[shard].segs[seg].Snapshot(), 1e-9)
 		}
+		// Read-path rows ride along as synthetic stages: end-to-end GET
+		// latency served from the index vs through the mailbox.
+		dst = appendHistogram(dst, StageMetricName,
+			fmt.Sprintf("shard=%q,stage=%q", strconv.Itoa(shard), ReadFastStage),
+			t.shards[shard].fast.Snapshot(), 1e-9)
+		dst = appendHistogram(dst, StageMetricName,
+			fmt.Sprintf("shard=%q,stage=%q", strconv.Itoa(shard), ReadFallbackStage),
+			t.shards[shard].fallback.Snapshot(), 1e-9)
 	}
 	dst = AppendMetricHeader(dst, "pmkv_stage_ops_total", "counter",
 		"Completed operations folded into the stage tracer, per shard.")

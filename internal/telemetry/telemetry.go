@@ -254,8 +254,13 @@ type Meta struct {
 // shardTel is one shard's telemetry state.
 type shardTel struct {
 	segs [NumSegments]AtomicHist
-	rec  Recorder
-	ops  atomic.Uint64
+	// fast / fallback hold end-to-end GET latency by read path: served
+	// from the committed-state index on the caller's goroutine, or routed
+	// through the shard mailbox like a write.
+	fast     AtomicHist
+	fallback AtomicHist
+	rec      Recorder
+	ops      atomic.Uint64
 }
 
 // Config sizes a Tracer.
@@ -337,6 +342,31 @@ func (t *Tracer) Complete(shard int, sp *Span, m Meta) {
 	})
 }
 
+// ObserveReadPath folds one completed GET's end-to-end duration (ns,
+// conn-read to ack-written) into shard's fast or fallback read
+// histogram. Safe from any goroutine; allocation-free.
+func (t *Tracer) ObserveReadPath(shard int, fast bool, d uint64) {
+	if t == nil || shard < 0 || shard >= len(t.shards) {
+		return
+	}
+	if fast {
+		t.shards[shard].fast.Observe(d)
+	} else {
+		t.shards[shard].fallback.Observe(d)
+	}
+}
+
+// ReadPathHist snapshots one shard's fast or fallback read histogram.
+func (t *Tracer) ReadPathHist(shard int, fast bool) HistSnapshot {
+	if t == nil || shard < 0 || shard >= len(t.shards) {
+		return HistSnapshot{}
+	}
+	if fast {
+		return t.shards[shard].fast.Snapshot()
+	}
+	return t.shards[shard].fallback.Snapshot()
+}
+
 // Ops reports how many completed operations shard has folded.
 func (t *Tracer) Ops(shard int) uint64 {
 	if t == nil || shard < 0 || shard >= len(t.shards) {
@@ -365,23 +395,36 @@ type StageStats struct {
 	P99US  float64 `json:"p99_us"`
 }
 
-func summarize(hists [NumSegments]HistSnapshot) []StageStats {
-	out := make([]StageStats, 0, NumSegments)
-	for i := 0; i < NumSegments; i++ {
-		h := hists[i]
-		out = append(out, StageStats{
-			Stage:  segmentNames[i],
-			Count:  h.Total,
-			MeanUS: h.Mean() / 1e3,
-			P50US:  float64(h.Percentile(50)) / 1e3,
-			P90US:  float64(h.Percentile(90)) / 1e3,
-			P99US:  float64(h.Percentile(99)) / 1e3,
-		})
+// ReadFastStage / ReadFallbackStage name the two synthetic rows the
+// stage summaries append after the pipeline segments: end-to-end GET
+// latency by read path (index fast path vs mailbox fallback).
+const (
+	ReadFastStage     = "read_fast"
+	ReadFallbackStage = "read_fallback"
+)
+
+func stageRow(name string, h HistSnapshot) StageStats {
+	return StageStats{
+		Stage:  name,
+		Count:  h.Total,
+		MeanUS: h.Mean() / 1e3,
+		P50US:  float64(h.Percentile(50)) / 1e3,
+		P90US:  float64(h.Percentile(90)) / 1e3,
+		P99US:  float64(h.Percentile(99)) / 1e3,
 	}
+}
+
+func summarize(hists [NumSegments]HistSnapshot, fast, fallback HistSnapshot) []StageStats {
+	out := make([]StageStats, 0, NumSegments+2)
+	for i := 0; i < NumSegments; i++ {
+		out = append(out, stageRow(segmentNames[i], hists[i]))
+	}
+	out = append(out, stageRow(ReadFastStage, fast), stageRow(ReadFallbackStage, fallback))
 	return out
 }
 
-// ShardStageSummary summarizes one shard's segments.
+// ShardStageSummary summarizes one shard's segments plus its read-path
+// rows.
 func (t *Tracer) ShardStageSummary(shard int) []StageStats {
 	if t == nil || shard < 0 || shard >= len(t.shards) {
 		return nil
@@ -390,20 +433,25 @@ func (t *Tracer) ShardStageSummary(shard int) []StageStats {
 	for i := 0; i < NumSegments; i++ {
 		hists[i] = t.shards[shard].segs[i].Snapshot()
 	}
-	return summarize(hists)
+	st := &t.shards[shard]
+	return summarize(hists, st.fast.Snapshot(), st.fallback.Snapshot())
 }
 
 // StageSummary merges every shard's segment histograms (exact: pow-2
-// bucket counts add) and summarizes the pooled distributions.
+// bucket counts add) and summarizes the pooled distributions, read-path
+// rows included.
 func (t *Tracer) StageSummary() []StageStats {
 	if t == nil {
 		return nil
 	}
 	var hists [NumSegments]HistSnapshot
+	var fast, fallback HistSnapshot
 	for s := range t.shards {
 		for i := 0; i < NumSegments; i++ {
 			hists[i].Merge(t.shards[s].segs[i].Snapshot())
 		}
+		fast.Merge(t.shards[s].fast.Snapshot())
+		fallback.Merge(t.shards[s].fallback.Snapshot())
 	}
-	return summarize(hists)
+	return summarize(hists, fast, fallback)
 }

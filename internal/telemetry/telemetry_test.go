@@ -178,10 +178,13 @@ func TestStageSummaryMergesShards(t *testing.T) {
 	tr.Complete(1, stampedSpan(5000, slow), Meta{})
 
 	sum := tr.StageSummary()
-	if len(sum) != NumSegments {
-		t.Fatalf("summary len = %d", len(sum))
+	if len(sum) != NumSegments+2 {
+		t.Fatalf("summary len = %d, want %d segments + 2 read-path rows", len(sum), NumSegments)
 	}
-	for _, s := range sum {
+	if sum[NumSegments].Stage != ReadFastStage || sum[NumSegments+1].Stage != ReadFallbackStage {
+		t.Fatalf("trailing rows = %q, %q", sum[NumSegments].Stage, sum[NumSegments+1].Stage)
+	}
+	for _, s := range sum[:NumSegments] {
 		if s.Count != 10 {
 			t.Fatalf("%s count = %d", s.Stage, s.Count)
 		}

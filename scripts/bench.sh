@@ -8,9 +8,15 @@
 #                     scaling, engine op cost, wire-protocol pipeline)
 #                     — the CI gate
 #   -out FILE         where to write the aggregated JSON
-#                     (default BENCH_PR9.json)
+#                     (default BENCH_PR10.json)
 #   -compare BASELINE also compare against a committed baseline JSON and
-#                     fail on >10% ns/op regression (see cmd/benchjson)
+#                     fail on ns/op regression beyond the threshold
+#                     (see cmd/benchjson)
+#   -threshold X      fractional regression allowed by -compare
+#                     (default 0.25: the live client/server benchmarks
+#                     swing ±20% run-to-run on 1-CPU CI hosts, and the
+#                     gate exists to catch the order-of-magnitude
+#                     regressions, not scheduler noise)
 #   -count N          runs per benchmark (default 7 quick / 5 full)
 #
 # Heavy benchmarks (full-figure sweeps, seconds per iteration) run at
@@ -24,9 +30,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=0
-out=BENCH_PR9.json
+out=BENCH_PR10.json
 compare=""
 count=""
+threshold=0.25
 while [ $# -gt 0 ]; do
     case "$1" in
     -quick) quick=1 ;;
@@ -42,8 +49,12 @@ while [ $# -gt 0 ]; do
         count=$2
         shift
         ;;
+    -threshold)
+        threshold=$2
+        shift
+        ;;
     *)
-        echo "usage: scripts/bench.sh [-quick] [-out FILE] [-compare BASELINE] [-count N]" >&2
+        echo "usage: scripts/bench.sh [-quick] [-out FILE] [-compare BASELINE] [-threshold X] [-count N]" >&2
         exit 2
         ;;
     esac
@@ -72,12 +83,20 @@ go test -run '^$' -bench '^BenchmarkProtoPipeline$' -benchtime 2000x \
 # the sort comparators, serial bucket loop) against the optimized serial
 # and parallel paths. Duration targeting is fine here — each iteration
 # is a pure in-memory replay over a prebuilt crash image.
-go test -run '^$' -bench '^BenchmarkParallelRecovery$' -benchtime 10x \
+go test -run '^$' -bench '^BenchmarkParallelRecovery$' -benchtime 30x \
+    -count "${count:-3}" ./internal/pmkv | tee -a "$tmp"
+
+# GET read paths: lock-free index hits vs forced mailbox fallbacks vs
+# the 95/5 headline mix, on a live 4-shard store. Fixed iteration counts
+# bound the per-run warmup/drain cost; the hit path is ~250 ns/op, so
+# the count is high enough to keep the timed loop well clear of
+# scheduler noise on 1-CPU hosts.
+go test -run '^$' -bench '^BenchmarkReadFastPath$' -benchtime 20000x \
     -count "${count:-3}" ./internal/pmkv | tee -a "$tmp"
 
 args=(-out "$out")
 if [ -n "$compare" ]; then
-    args+=(-baseline "$compare")
+    args+=(-baseline "$compare" -threshold "$threshold")
 fi
 go run ./cmd/benchjson "${args[@]}" "$tmp"
 echo "bench.sh: wrote $out"

@@ -59,6 +59,43 @@ grep -q "durable linearizability: OK" "$dir/pmkvd-clean.log" || {
     exit 1
 }
 
+# Phase 1b: read-heavy load (95/5) with the checker on — the GET fast
+# path must actually serve hits (counted on /metrics), and the clean
+# drain's durable-linearizability verdict must still be OK with reads
+# bypassing the shard mailboxes.
+"$dir/pmkvd" -addr "$addr" -shards 4 -check -admin "$admin" >"$dir/pmkvd-read.log" 2>&1 &
+pid=$!
+sleep 1
+"$dir/pmkvload" -addr "$addr" -get 0.95 -del 0.01 -conns 2 -rate 300 -duration 2s &
+jsonload=$!
+"$dir/pmkvload" -addr "$addr" -proto binary -window 32 -get 0.95 -del 0.01 \
+    -conns 2 -rate 300 -duration 2s
+wait "$jsonload"
+curl -fsS "http://$admin/metrics" >"$dir/metrics-read.txt" || {
+    echo "scale_smoke: /metrics scrape (read phase) failed" >&2
+    exit 1
+}
+"$dir/promcheck" "$dir/metrics-read.txt"
+grep '^pmkv_read_fast_hits_total' "$dir/metrics-read.txt" | awk '{s+=$2} END {exit s>0?0:1}' || {
+    echo "scale_smoke: read-heavy phase recorded no fast-path hits" >&2
+    exit 1
+}
+kill -TERM "$pid"
+for _ in $(seq 1 120); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 1
+done
+if kill -0 "$pid" 2>/dev/null; then
+    echo "scale_smoke: pmkvd (read phase) did not drain within 120s" >&2
+    cat "$dir/pmkvd-read.log" >&2
+    exit 1
+fi
+cat "$dir/pmkvd-read.log"
+grep -q "durable linearizability: OK" "$dir/pmkvd-read.log" || {
+    echo "scale_smoke: no durable-linearizability verdict in the read-heavy phase" >&2
+    exit 1
+}
+
 # Phase 2: crash mid-load, flight recorder + checker both armed.
 "$dir/pmkvd" -addr "$addr" -shards 4 -crash-at 100000 -check \
     -admin "$admin" -flight-dump "$dir/flight.json" >"$dir/pmkvd.log" 2>&1 &
